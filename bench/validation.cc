@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Simulation validation harness: the paper's worst-case *claims*
+ * checked empirically on the cycle-level simulator --
+ *
+ *   1. zero miss probability (Sections 3/5): every grant served;
+ *   2. conflict freedom (Section 5.3): no bank re-accessed within
+ *      its random access time (the model panics otherwise);
+ *   3. bounded reordering: measured Requests Register occupancy and
+ *      skip counts vs. Eq. (1)/(2);
+ *   4. SRAM dimensioning: measured high-water marks vs. the
+ *      formulas of Sections 3 and 5.4.
+ *
+ * Each row is one (architecture, configuration, pattern) pair run
+ * for 60k slots with the golden FIFO checker enabled.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "buffer/hybrid_buffer.hh"
+#include "sim/runner.hh"
+#include "sim/workload.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::buffer;
+using namespace pktbuf::sim;
+
+namespace
+{
+
+std::unique_ptr<Workload>
+makeWorkload(int pat, unsigned queues, std::uint64_t seed)
+{
+    switch (pat) {
+      case 0:
+        return std::make_unique<RoundRobinWorstCase>(queues, seed,
+                                                     1.0, 64);
+      case 1:
+        return std::make_unique<UniformRandom>(queues, seed, 0.95);
+      default:
+        return std::make_unique<BurstyOnOff>(queues, seed, 96, 1.0);
+    }
+}
+
+const char *kPatName[] = {"worst-rr", "uniform", "bursty"};
+
+void
+runOne(unsigned queues, unsigned B, unsigned b, unsigned banks,
+       int pat)
+{
+    BufferConfig cfg;
+    cfg.params = model::BufferParams{queues, B, b, banks};
+    cfg.measureOnly = true; // record high-water marks, no caps
+    HybridBuffer buf(cfg);
+    auto wl = makeWorkload(pat, queues, 12345);
+    SimRunner runner(buf, *wl);
+    bool ok = true;
+    std::uint64_t grants = 0;
+    try {
+        const auto r = runner.run(60000);
+        grants = r.grants;
+    } catch (const std::exception &e) {
+        ok = false;
+        std::printf("  VIOLATION: %s\n", e.what());
+    }
+    const auto rep = buf.report();
+
+    // Reference capacities an enforced buffer would use.
+    BufferConfig enforced = cfg;
+    enforced.measureOnly = false;
+    HybridBuffer sized(enforced);
+
+    const auto rr_ref = cfg.params.isRads()
+                            ? 0
+                            : model::rrSize(cfg.params) + 4;
+    const auto skip_ref =
+        cfg.params.isRads()
+            ? 0
+            : 2 * model::dsaMaxSkips(cfg.params) + 2;
+    std::printf("%-4s Q=%-3u B=%-2u b=%-2u M=%-3u %-8s grants=%-6lu"
+                " miss=%s  rrHW=%ld/%lu skips=%ld/%lu"
+                "  hSRAM=%ld/%lu tSRAM=%ld/%lu\n",
+                cfg.params.isRads() ? "RADS" : "CFDS", queues, B, b,
+                banks, kPatName[pat],
+                static_cast<unsigned long>(grants), ok ? "0" : "!!",
+                rep.rrHighWater, static_cast<unsigned long>(rr_ref),
+                rep.rrMaxSkips, static_cast<unsigned long>(skip_ref),
+                rep.headSramHighWater,
+                static_cast<unsigned long>(sized.headSram().capacity()),
+                rep.tailSramHighWater,
+                static_cast<unsigned long>(
+                    sized.tailSram().capacity()));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Empirical validation of the worst-case guarantees"
+                " (measured/bound; miss must be 0).\n\n");
+    for (int pat = 0; pat < 3; ++pat) {
+        runOne(8, 8, 8, 1, pat);    // RADS
+        runOne(16, 8, 8, 1, pat);   // RADS, more queues
+        runOne(8, 8, 4, 16, pat);   // CFDS, B/b = 2
+        runOne(8, 8, 2, 16, pat);   // CFDS, B/b = 4
+        runOne(8, 8, 1, 32, pat);   // CFDS, per-cell transfers
+        runOne(16, 8, 2, 32, pat);  // CFDS, wider
+        runOne(16, 16, 4, 64, pat); // CFDS, deeper DRAM timing
+    }
+    std::printf("\nAll rows completing with miss=0 and measurements"
+                " within bounds reproduce the paper's zero-miss and"
+                " bounded-reordering claims.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Design-space explorer: a small CLI that prints the full
+ * dimensioning of RADS and CFDS configurations -- SRAM sizes,
+ * lookahead and latency, requests-register size and feasibility,
+ * technology numbers from the CACTI-like model -- the way a linecard
+ * architect would use the library.
+ *
+ *   $ ./dimensioning_explorer [oc192|oc768|oc3072] [queues] [b] [M]
+ *   $ ./dimensioning_explorer              # the paper's OC-3072 setup
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/system_config.hh"
+#include "model/sram_designs.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::core;
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig sys;
+    sys.rate = LineRate::OC3072;
+    sys.queues = 512;
+    sys.gran = 4;
+    sys.banks = 256;
+
+    if (argc > 1) {
+        if (!std::strcmp(argv[1], "oc192"))
+            sys.rate = LineRate::OC192;
+        else if (!std::strcmp(argv[1], "oc768"))
+            sys.rate = LineRate::OC768;
+        else if (!std::strcmp(argv[1], "oc3072"))
+            sys.rate = LineRate::OC3072;
+        else {
+            std::cerr << "usage: " << argv[0]
+                      << " [oc192|oc768|oc3072] [queues] [b] [M]\n";
+            return 1;
+        }
+    }
+    if (argc > 2)
+        sys.queues = static_cast<unsigned>(std::atoi(argv[2]));
+    if (argc > 3)
+        sys.gran = static_cast<unsigned>(std::atoi(argv[3]));
+    if (argc > 4)
+        sys.banks = static_cast<unsigned>(std::atoi(argv[4]));
+
+    std::cout << "Design point: " << toString(sys.rate) << ", Q="
+              << sys.queues << ", b=" << sys.gran << ", M="
+              << sys.banks << ", t_RC=" << sys.dramRandomAccessNs
+              << " ns (B=" << sys.granRads() << " slots)\n\n";
+
+    printDimensioningReport(std::cout, sys, BufferKind::Rads);
+    std::cout << "\n";
+    printDimensioningReport(std::cout, sys, BufferKind::Cfds);
+
+    // How many queues could this CFDS organization support at most?
+    const auto qmax = model::maxQueuesMeetingSlot(
+        sys.granRads(), sys.gran, sys.banks, sys.rate);
+    const auto qmax_rads = model::maxQueuesMeetingSlot(
+        sys.granRads(), sys.granRads(), 1, sys.rate);
+    std::cout << "\nmax queues meeting the slot time: CFDS " << qmax
+              << " vs RADS " << qmax_rads << "\n";
+    return 0;
+}

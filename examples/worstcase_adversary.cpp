@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The worst-case story of the paper in one program:
+ *
+ *  1. the adversarial round-robin pattern (every queue drained in
+ *     lockstep) against a fully dimensioned CFDS buffer -- zero
+ *     misses, by construction;
+ *  2. the same request stream against a *naive* banked DRAM that
+ *     issues strictly in FIFO order with no conflict-free scheduler:
+ *     bank conflicts stall the pipeline and the worst-case service
+ *     delay blows past what any bounded latency register could hide
+ *     (i.e. cells would be lost).
+ *
+ * This is why the DSS exists (Sections 4-5).
+ */
+
+#include <cstdio>
+
+#include "buffer/hybrid_buffer.hh"
+#include "dram/address_map.hh"
+#include "dram/bank_state.hh"
+#include "sim/runner.hh"
+#include "sim/workload.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::buffer;
+using namespace pktbuf::sim;
+
+namespace
+{
+
+/**
+ * Naive banked DRAM: requests launch strictly in arrival order; a
+ * request to a busy bank blocks everything behind it (no wake-up /
+ * select).  Returns the worst queueing delay in slots.
+ */
+std::uint64_t
+naiveFifoWorstDelay(unsigned queues, unsigned B, unsigned b,
+                    unsigned banks, std::uint64_t accesses)
+{
+    dram::AddressMap map(banks, B / b);
+    dram::BankState state(banks, B);
+    Rng rng(99);
+    std::vector<std::uint64_t> ord(queues, 0);
+
+    std::uint64_t worst = 0;
+    Slot now = 0;
+    std::deque<std::pair<unsigned, Slot>> fifo; // (bank, issued)
+    for (std::uint64_t n = 0; n < accesses; ++n) {
+        now += b; // one new request per granularity interval
+        // Adversarial stream: consecutive requests alternate between
+        // two queues of the same group, hammering bank pairs.
+        const QueueId q = static_cast<QueueId>(
+            (n % 2) * map.groups()); // same group 0
+        fifo.emplace_back(map.bankOf(q, ord[q]), now);
+        ++ord[q];
+        // FIFO head launches only when ITS bank is free.
+        while (!fifo.empty() &&
+               !state.busy(fifo.front().first, now)) {
+            state.startAccess(fifo.front().first, now);
+            worst = std::max(worst, now - fifo.front().second);
+            fifo.pop_front();
+        }
+    }
+    // Drain what is left.
+    while (!fifo.empty()) {
+        if (!state.busy(fifo.front().first, now)) {
+            state.startAccess(fifo.front().first, now);
+            worst = std::max(worst, now - fifo.front().second);
+            fifo.pop_front();
+        }
+        ++now;
+    }
+    return worst;
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned queues = 16, B = 8, b = 2, banks = 32;
+
+    std::printf("1) CFDS under the ECQF worst case (Q=%u, B=%u, b=%u,"
+                " M=%u)\n",
+                queues, B, b, banks);
+    BufferConfig cfg;
+    cfg.params = model::BufferParams{queues, B, b, banks};
+    HybridBuffer buf(cfg);
+    RoundRobinWorstCase wl(queues, 1, 1.0, 128);
+    SimRunner runner(buf, wl);
+    const auto r = runner.run(200000);
+    const auto rep = buf.report();
+    std::printf("   %lu grants, 0 misses, 0 bank conflicts"
+                " (guaranteed by construction)\n",
+                static_cast<unsigned long>(r.grants));
+    std::printf("   requests register high water %ld (cap %lu),"
+                " max skips %ld\n",
+                rep.rrHighWater,
+                static_cast<unsigned long>(
+                    buf.scheduler().rr().capacity()),
+                rep.rrMaxSkips);
+    std::printf("   every grant exactly %lu slots after its request"
+                " -- the worst-case bound IS the delay\n\n",
+                static_cast<unsigned long>(buf.pipelineDepth()));
+
+    std::printf("2) Naive FIFO banked DRAM, same bank organization,"
+                " adversarial stream\n");
+    const auto worst =
+        naiveFifoWorstDelay(queues, B, b, banks, 20000);
+    const auto budget = model::latencySlots(cfg.params);
+    std::printf("   worst queueing delay %lu slots vs the %lu-slot"
+                " latency budget the CFDS\n   latency register"
+                " provides -- %s\n",
+                static_cast<unsigned long>(worst),
+                static_cast<unsigned long>(budget),
+                worst > budget
+                    ? "the naive design would MISS (lose cells)"
+                    : "(adversary too weak; try more accesses)");
+    std::printf("\nConclusion: banking alone is not enough; the"
+                " issue-queue-like DSA is what makes\nthe worst case"
+                " safe (Sections 4-5 of the paper).\n");
+    return 0;
+}

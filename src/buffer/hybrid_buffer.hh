@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The hybrid SRAM/DRAM VOQ buffer.  One class implements both
+ * architectures of the paper:
+ *
+ *  - RADS (Section 3): b == B, a single serialized DRAM accessed
+ *    once per direction every random access time; replenish requests
+ *    launch the moment the MMA issues them.
+ *
+ *  - CFDS (Section 5): b < B, M banks in G groups with block-cyclic
+ *    interleaving; requests pass through the DRAM Scheduler
+ *    Subsystem (Requests Register + ORR + oldest-ready-first DSA)
+ *    and grants are delayed by the latency register.  Optional queue
+ *    renaming (Section 6) shares DRAM space across groups.
+ *
+ * The MMA subsystem is literally the same code in both modes, as the
+ * paper requires (Section 5.2).
+ */
+
+#ifndef PKTBUF_BUFFER_HYBRID_BUFFER_HH
+#define PKTBUF_BUFFER_HYBRID_BUFFER_HH
+
+#include <deque>
+#include <memory>
+#include <ostream>
+#include <optional>
+#include <vector>
+
+#include "buffer/packet_buffer.hh"
+#include "common/shift_register.hh"
+#include "common/stats.hh"
+#include "dram/address_map.hh"
+#include "dram/bank_state.hh"
+#include "dram/dram_store.hh"
+#include "dss/dram_scheduler.hh"
+#include "dss/ongoing_requests.hh"
+#include "mma/ecqf.hh"
+#include "mma/mdqf.hh"
+#include "mma/tail_mma.hh"
+#include "rename/renaming_table.hh"
+#include "sram/head_sram.hh"
+#include "sram/tail_sram.hh"
+
+namespace pktbuf::buffer
+{
+
+class HybridBuffer : public PacketBuffer
+{
+  public:
+    explicit HybridBuffer(const BufferConfig &cfg);
+
+    std::optional<GrantInfo>
+    step(const std::optional<Cell> &arrival, QueueId request) override;
+
+    bool wouldAdmit(QueueId lq) const override;
+    Slot now() const override { return now_; }
+    BufferReport report() const override;
+    const BufferConfig &config() const override { return cfg_; }
+
+    /** Resolved lookahead depth (slots). */
+    std::uint64_t lookaheadDepth() const { return look_.depth(); }
+    /** Resolved latency register depth (slots, 0 for RADS). */
+    std::uint64_t latencyDepth() const
+    {
+        return latency_ ? latency_->depth() : 0;
+    }
+    /** End-to-end request-to-grant pipeline depth (slots). */
+    std::uint64_t
+    pipelineDepth() const override
+    {
+        return lookaheadDepth() + latencyDepth();
+    }
+
+    /**
+     * When set, internal events (MMA selections, issues, bypasses,
+     * launches, completions, grants) are logged one line per event.
+     * Intended for debugging and for the worked-example tests.
+     */
+    std::ostream *trace = nullptr;
+
+    /** Introspection hooks for white-box tests. */
+    const dss::DramScheduler &scheduler() const { return *sched_; }
+    const dram::DramStore &dramStore() const { return dram_; }
+    const sram::HeadSram &headSram() const { return head_; }
+    const sram::TailSram &tailSram() const { return tail_; }
+    const rename::RenamingTable *renaming() const { return rt_.get(); }
+
+  private:
+    /** What travels through the lookahead and latency registers. */
+    struct PipeEntry
+    {
+        QueueId phys = kInvalidQueue;
+        QueueId logical = kInvalidQueue;
+
+        bool
+        operator==(const PipeEntry &o) const
+        {
+            return phys == o.phys && logical == o.logical;
+        }
+    };
+
+    struct Completion
+    {
+        Slot at;
+        QueueId phys;
+        std::uint64_t replenishSeq;
+        std::vector<Cell> cells;
+    };
+
+    void admitArrival(const Cell &cell);
+    void processCompletions(Slot now);
+    void headMmaDecide(Slot now);
+    void tailMmaDecide(Slot now);
+    void issueReplenish(QueueId p, Slot now);
+    void bypassReplenish(QueueId p);
+    void dssTick(Slot now);
+    void launchRead(const dss::DramRequest &req, Slot now);
+    void launchWrite(const dss::DramRequest &req, Slot now);
+    void recyclePhys(QueueId p);
+
+    unsigned groupOf(QueueId p) const { return map_.groupOf(p); }
+    std::uint64_t groupFree(unsigned g) const;
+    bool hasRoom(unsigned g) const;
+
+    /** ECQF-visible lookahead of a physical queue's pending reads. */
+    bool
+    replenishable(QueueId p) const
+    {
+        return dram_.hasBlock(p, next_read_issue_[p]) ||
+               tail_.cellsOf(p) > 0;
+    }
+
+    BufferConfig cfg_;
+    bool rads_;
+    unsigned phys_queues_;
+    unsigned gran_;       //!< b
+    unsigned gran_rads_;  //!< B (random access time in slots)
+    Slot now_ = 0;
+
+    dram::AddressMap map_;
+    dram::BankState banks_;
+    dram::DramStore dram_;
+    sram::TailSram tail_;
+    sram::HeadSram head_;
+    mma::EcqfMma hmma_;
+    mma::MdqfMma mdqf_;
+    mma::TailMma tmma_;
+
+    ShiftRegister<PipeEntry> look_;
+    std::unique_ptr<ShiftRegister<PipeEntry>> latency_;
+
+    dss::OngoingRequests orr_;
+    /** One combined RR for reads and writes, as in Figure 5. */
+    std::unique_ptr<dss::DramScheduler> sched_;
+
+    std::unique_ptr<rename::RenamingTable> rt_;
+
+    std::vector<std::uint64_t> next_read_issue_;
+    std::vector<std::uint64_t> next_write_issue_;
+    std::vector<std::uint64_t> replenish_seq_;
+    std::vector<std::uint64_t> pending_unlaunched_writes_;
+    std::vector<std::uint64_t> committed_;
+    std::uint64_t group_capacity_ = 0;
+
+    std::deque<Completion> completions_;
+
+    Counter arrivals_;
+    Counter grants_;
+    Counter bypass_cells_;
+    Counter dram_reads_;
+    Counter dram_writes_;
+};
+
+} // namespace pktbuf::buffer
+
+#endif // PKTBUF_BUFFER_HYBRID_BUFFER_HH

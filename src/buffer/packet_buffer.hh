@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Public interface of a VOQ packet buffer (Figure 2): one cell may
+ * arrive and one arbiter request may be issued per time-slot; grants
+ * emerge after the configured pipeline (lookahead, plus the latency
+ * register for CFDS).  Implementations must *guarantee* zero misses:
+ * a grant that cannot be served from the head SRAM is a simulator
+ * panic, not a statistic.
+ */
+
+#ifndef PKTBUF_BUFFER_PACKET_BUFFER_HH
+#define PKTBUF_BUFFER_PACKET_BUFFER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.hh"
+#include "model/dimensioning.hh"
+
+namespace pktbuf::buffer
+{
+
+/** Which head MMA drives replenishment. */
+enum class MmaKind
+{
+    Ecqf,  //!< earliest critical queue first (lookahead-driven)
+    Mdqf,  //!< most deficited queue first (no lookahead; ablation)
+};
+
+/** Static configuration of a buffer instance. */
+struct BufferConfig
+{
+    /** Q (physical), B, b, M.  b == B and banks == 1 gives RADS. */
+    model::BufferParams params;
+
+    /** Logical queues visible to the scheduler; 0 = physical count. */
+    unsigned logicalQueues = 0;
+
+    /** Enable queue renaming (Section 6); requires CFDS. */
+    bool renaming = false;
+
+    /** Head MMA algorithm. */
+    MmaKind mma = MmaKind::Ecqf;
+
+    /** Lookahead depth in slots; 0 = ECQF optimum Q(b-1)+1. */
+    std::uint64_t lookahead = 0;
+
+    /** Head SRAM capacity in cells; 0 = dimensioning formula. */
+    std::uint64_t headSramCells = 0;
+
+    /** Tail SRAM capacity in cells; 0 = dimensioning formula. */
+    std::uint64_t tailSramCells = 0;
+
+    /** Total DRAM capacity in cells; 0 = unbounded. */
+    std::uint64_t dramCells = 0;
+
+    /** Requests Register capacity; 0 = Eq. (1) formula. */
+    std::uint64_t rrCapacity = 0;
+
+    /**
+     * Measurement mode: SRAM/RR capacities unbounded, high-water
+     * marks recorded (used to validate the formulas empirically).
+     */
+    bool measureOnly = false;
+
+    unsigned effectiveLogicalQueues() const
+    {
+        return logicalQueues ? logicalQueues : params.queues;
+    }
+};
+
+/** One granted cell and the logical queue it was requested for. */
+struct GrantInfo
+{
+    Cell cell;
+    QueueId logicalQueue = kInvalidQueue;
+};
+
+/** Aggregated observability for tests, benches and reports. */
+struct BufferReport
+{
+    std::uint64_t slots = 0;
+    std::uint64_t arrivals = 0;
+    std::uint64_t grants = 0;
+    std::uint64_t bypasses = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::int64_t headSramHighWater = 0;
+    std::int64_t tailSramHighWater = 0;
+    std::int64_t rrHighWater = 0;
+    std::int64_t rrMaxSkips = 0;
+    std::int64_t orrHighWater = 0;
+    std::uint64_t dsaStalls = 0;
+    std::uint64_t renames = 0;
+    std::uint64_t renameRecycles = 0;
+    std::uint64_t dramResidentCells = 0;
+};
+
+class PacketBuffer
+{
+  public:
+    virtual ~PacketBuffer() = default;
+
+    /**
+     * Advance one time-slot.
+     *
+     * @param arrival  cell arriving from the line this slot (if any)
+     * @param request  logical queue the arbiter requests this slot
+     *                 (kInvalidQueue for none)
+     * @return the grant emerging from the pipeline this slot, if any
+     */
+    virtual std::optional<GrantInfo>
+    step(const std::optional<Cell> &arrival, QueueId request) = 0;
+
+    /** Would an arriving cell for `lq` be admitted right now? */
+    virtual bool wouldAdmit(QueueId lq) const = 0;
+
+    /** Slots elapsed. */
+    virtual Slot now() const = 0;
+
+    /** Request-to-grant pipeline depth (lookahead + latency). */
+    virtual std::uint64_t pipelineDepth() const = 0;
+
+    virtual BufferReport report() const = 0;
+
+    virtual const BufferConfig &config() const = 0;
+};
+
+} // namespace pktbuf::buffer
+
+#endif // PKTBUF_BUFFER_PACKET_BUFFER_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A fixed-depth shift register: the hardware structure behind the
+ * MMA lookahead (Section 3) and the CFDS latency register
+ * (Section 5.4).  Values enter at the tail, advance one position per
+ * shift, and emerge at the head exactly `depth` shifts later.
+ */
+
+#ifndef PKTBUF_COMMON_SHIFT_REGISTER_HH
+#define PKTBUF_COMMON_SHIFT_REGISTER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "logging.hh"
+
+namespace pktbuf
+{
+
+template <typename T>
+class ShiftRegister
+{
+  public:
+    /** @param depth number of stages; @param idle the empty value. */
+    ShiftRegister(std::size_t depth, T idle)
+        : idle_(idle), slots_(depth, idle)
+    {
+        panic_if(depth == 0, "ShiftRegister needs depth >= 1");
+    }
+
+    /** Push a value into the tail, return what falls off the head. */
+    T
+    shift(const T &incoming)
+    {
+        T out = slots_[head_];
+        slots_[head_] = incoming;
+        head_ = (head_ + 1) % slots_.size();
+        return out;
+    }
+
+    /** Value that will emerge after `ahead` more shifts (0 = next). */
+    const T &
+    peek(std::size_t ahead = 0) const
+    {
+        panic_if(ahead >= slots_.size(), "peek beyond register depth");
+        return slots_[(head_ + ahead) % slots_.size()];
+    }
+
+    std::size_t depth() const { return slots_.size(); }
+
+    /** Number of non-idle entries currently held. */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t n = 0;
+        for (const auto &v : slots_)
+            if (!(v == idle_))
+                ++n;
+        return n;
+    }
+
+    /** Reset all stages to the idle value. */
+    void
+    clear()
+    {
+        for (auto &v : slots_)
+            v = idle_;
+        head_ = 0;
+    }
+
+  private:
+    T idle_;
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+};
+
+} // namespace pktbuf
+
+#endif // PKTBUF_COMMON_SHIFT_REGISTER_HH

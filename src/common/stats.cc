@@ -1,0 +1,39 @@
+#include "stats.hh"
+
+#include <iomanip>
+
+namespace pktbuf
+{
+
+double
+Histogram::percentile(double frac) const
+{
+    if (sampler_.count() == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(frac * sampler_.count());
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen > target)
+            return (i + 1) * width_;
+    }
+    return counts_.size() * width_;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    os << std::left;
+    for (const auto &[name, c] : counters_)
+        os << std::setw(40) << name << c.value() << "\n";
+    for (const auto &[name, w] : waters_)
+        os << std::setw(40) << (name + ".max") << w.max() << "\n";
+    for (const auto &[name, s] : samplers_) {
+        os << std::setw(40) << (name + ".mean") << s.mean() << "\n";
+        os << std::setw(40) << (name + ".min") << s.min() << "\n";
+        os << std::setw(40) << (name + ".max") << s.max() << "\n";
+        os << std::setw(40) << (name + ".count") << s.count() << "\n";
+    }
+}
+
+} // namespace pktbuf

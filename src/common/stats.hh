@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Lightweight statistics primitives: scalar counters, min/max/mean
+ * trackers, fixed-bucket histograms and a registry that pretty-prints
+ * everything a component recorded.  Modeled loosely after gem5's Stats
+ * package but deliberately tiny.
+ */
+
+#ifndef PKTBUF_COMMON_STATS_HH
+#define PKTBUF_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pktbuf
+{
+
+/** A monotonically increasing scalar counter. */
+class Counter
+{
+  public:
+    void
+    inc(std::uint64_t delta = 1)
+    {
+        value_ += delta;
+    }
+
+    std::uint64_t value() const { return value_; }
+
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Tracks min / max / mean of a sampled quantity. */
+class Sampler
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** High-water-mark tracker for occupancies. */
+class HighWater
+{
+  public:
+    void
+    observe(std::int64_t v)
+    {
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::int64_t max() const { return max_; }
+
+    void reset() { max_ = 0; }
+
+  private:
+    std::int64_t max_ = 0;
+};
+
+/** Fixed-width linear histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width = 1.0, std::size_t buckets = 64)
+        : width_(bucket_width), counts_(buckets + 1, 0)
+    {}
+
+    void
+    sample(double v)
+    {
+        sampler_.sample(v);
+        std::size_t idx = v < 0 ? 0 : static_cast<std::size_t>(v / width_);
+        if (idx >= counts_.size() - 1)
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+    }
+
+    const Sampler &summary() const { return sampler_; }
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+    double bucketWidth() const { return width_; }
+
+    /** Value below which the given fraction of samples fall. */
+    double percentile(double frac) const;
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    Sampler sampler_;
+};
+
+/**
+ * A flat registry of named statistics for one simulation.  Components
+ * hold references to entries; dump() prints "name value" lines.
+ */
+class StatRegistry
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Sampler &sampler(const std::string &name) { return samplers_[name]; }
+    HighWater &highWater(const std::string &name) { return waters_[name]; }
+
+    void dump(std::ostream &os) const;
+
+    std::uint64_t
+    counterValue(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Sampler> samplers_;
+    std::map<std::string, HighWater> waters_;
+};
+
+} // namespace pktbuf
+
+#endif // PKTBUF_COMMON_STATS_HH

@@ -1,0 +1,43 @@
+#include "types.hh"
+
+#include "logging.hh"
+
+namespace pktbuf
+{
+
+double
+lineRateGbps(LineRate rate)
+{
+    switch (rate) {
+      case LineRate::OC192:
+        return 10.0;
+      case LineRate::OC768:
+        return 40.0;
+      case LineRate::OC3072:
+        return 160.0;
+    }
+    panic("unknown line rate");
+}
+
+double
+slotTimeNs(LineRate rate)
+{
+    // 64 bytes = 512 bits; slot = 512 / (rate in Gb/s) ns.
+    return 512.0 / lineRateGbps(rate);
+}
+
+std::string
+toString(LineRate rate)
+{
+    switch (rate) {
+      case LineRate::OC192:
+        return "OC-192";
+      case LineRate::OC768:
+        return "OC-768";
+      case LineRate::OC3072:
+        return "OC-3072";
+    }
+    panic("unknown line rate");
+}
+
+} // namespace pktbuf

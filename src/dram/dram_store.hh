@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Functional contents of the DRAM: per-physical-queue blocks of b
+ * cells keyed by *block ordinal* (the same ordinal that drives the
+ * block-cyclic bank mapping), with per-group occupancy accounting
+ * for the renaming/fragmentation machinery (Section 6).
+ *
+ * Timing lives in BankState / the ORR; this class only stores data.
+ * Ordinal keying lets the DSA launch same-queue accesses out of
+ * order (reads are re-sequenced in the head SRAM, Section 8.2)
+ * without corrupting queue contents.
+ */
+
+#ifndef PKTBUF_DRAM_DRAM_STORE_HH
+#define PKTBUF_DRAM_DRAM_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace pktbuf::dram
+{
+
+class DramStore
+{
+  public:
+    /**
+     * @param phys_queues number of physical queues
+     * @param gran        cells per block (b)
+     * @param groups      number of bank groups (1 for RADS)
+     * @param group_capacity_cells per-group capacity; 0 = unbounded
+     */
+    DramStore(unsigned phys_queues, unsigned gran, unsigned groups,
+              std::uint64_t group_capacity_cells)
+        : gran_(gran), group_cells_(groups, 0),
+          group_capacity_(group_capacity_cells), queues_(phys_queues)
+    {
+        panic_if(gran == 0, "zero granularity");
+        panic_if(groups == 0, "zero groups");
+    }
+
+    unsigned gran() const { return gran_; }
+    unsigned groups() const
+    {
+        return static_cast<unsigned>(group_cells_.size());
+    }
+
+    /** Is block `ordinal` of queue p resident? */
+    bool
+    hasBlock(QueueId p, std::uint64_t ordinal) const
+    {
+        return q(p).blocks.count(ordinal) != 0;
+    }
+
+    /** Blocks of queue p currently resident. */
+    std::uint64_t
+    residentBlocks(QueueId p) const
+    {
+        return q(p).blocks.size();
+    }
+
+    /** Store one block (exactly `gran` cells). */
+    void
+    writeBlock(QueueId p, std::uint64_t ordinal,
+               std::vector<Cell> cells, unsigned group)
+    {
+        panic_if(cells.size() != gran_, "write of ", cells.size(),
+                 " cells, granularity is ", gran_);
+        panic_if(group >= group_cells_.size(), "bad group");
+        auto &qq = q(p);
+        panic_if(qq.blocks.count(ordinal),
+                 "duplicate block ordinal ", ordinal, " on queue ", p);
+        qq.blocks.emplace(ordinal, std::move(cells));
+        group_cells_[group] += gran_;
+        panic_if(group_capacity_ &&
+                 group_cells_[group] > group_capacity_,
+                 "DRAM group ", group, " overflow (",
+                 group_cells_[group], " > ", group_capacity_,
+                 " cells): admission control must prevent this");
+    }
+
+    /** Remove and return block `ordinal` of queue p. */
+    std::vector<Cell>
+    readBlock(QueueId p, std::uint64_t ordinal, unsigned group)
+    {
+        auto &qq = q(p);
+        auto it = qq.blocks.find(ordinal);
+        panic_if(it == qq.blocks.end(),
+                 "read of absent block ", ordinal, " on queue ", p);
+        std::vector<Cell> out = std::move(it->second);
+        qq.blocks.erase(it);
+        panic_if(group_cells_[group] < gran_, "group accounting bug");
+        group_cells_[group] -= gran_;
+        return out;
+    }
+
+    /** Cells resident in one group. */
+    std::uint64_t
+    groupCells(unsigned group) const
+    {
+        panic_if(group >= group_cells_.size(), "bad group");
+        return group_cells_[group];
+    }
+
+    std::uint64_t groupCapacity() const { return group_capacity_; }
+
+    /** Total cells resident across all groups. */
+    std::uint64_t
+    totalCells() const
+    {
+        std::uint64_t n = 0;
+        for (const auto g : group_cells_)
+            n += g;
+        return n;
+    }
+
+    /** Reset a recycled physical queue (renaming): must be empty. */
+    void
+    recycle(QueueId p)
+    {
+        panic_if(!q(p).blocks.empty(),
+                 "recycling non-empty queue ", p);
+    }
+
+  private:
+    struct QueueData
+    {
+        std::map<std::uint64_t, std::vector<Cell>> blocks;
+    };
+
+    const QueueData &
+    q(QueueId p) const
+    {
+        panic_if(p >= queues_.size(), "physical queue ", p,
+                 " out of range");
+        return queues_[p];
+    }
+
+    QueueData &
+    q(QueueId p)
+    {
+        panic_if(p >= queues_.size(), "physical queue ", p,
+                 " out of range");
+        return queues_[p];
+    }
+
+    unsigned gran_;
+    std::vector<std::uint64_t> group_cells_;
+    std::uint64_t group_capacity_;
+    std::vector<QueueData> queues_;
+};
+
+} // namespace pktbuf::dram
+
+#endif // PKTBUF_DRAM_DRAM_STORE_HH

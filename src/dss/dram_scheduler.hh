@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The DRAM Scheduler Algorithm (DSA) tying one Requests Register to
+ * the shared Ongoing Requests Register: every granularity interval
+ * it launches the oldest request whose bank is free (Section 5.3).
+ * The read path and the write path each own a scheduler; both share
+ * one ORR because a bank is locked no matter which direction locked
+ * it.
+ */
+
+#ifndef PKTBUF_DSS_DRAM_SCHEDULER_HH
+#define PKTBUF_DSS_DRAM_SCHEDULER_HH
+
+#include <optional>
+
+#include "common/stats.hh"
+#include "dss/ongoing_requests.hh"
+#include "dss/request_register.hh"
+
+namespace pktbuf::dss
+{
+
+class DramScheduler
+{
+  public:
+    DramScheduler(std::size_t rr_capacity, OngoingRequests &orr,
+                  bool in_order_per_queue = false)
+        : rr_(rr_capacity, in_order_per_queue), orr_(orr)
+    {}
+
+    /** MMA issues a new request. */
+    void
+    push(const DramRequest &req)
+    {
+        rr_.push(req);
+    }
+
+    /**
+     * One scheduling opportunity: pick the oldest non-locked request
+     * and launch it (locking its bank).  Returns the launched
+     * request, or nullopt if the register is empty or every pending
+     * request targets a locked bank.
+     */
+    std::optional<DramRequest>
+    tryLaunch(Slot now)
+    {
+        if (rr_.empty())
+            return std::nullopt;
+        auto req = rr_.selectOldestReady(
+            [&](unsigned bank) { return orr_.locked(bank, now); });
+        if (!req) {
+            stalls_.inc();
+            return std::nullopt;
+        }
+        orr_.add(req->bank, now);
+        launches_.inc();
+        queue_delay_.sample(static_cast<double>(now - req->issued));
+        return req;
+    }
+
+    RequestRegister &rr() { return rr_; }
+    const RequestRegister &rr() const { return rr_; }
+
+    std::uint64_t launches() const { return launches_.value(); }
+    std::uint64_t stalls() const { return stalls_.value(); }
+    /** Delay from MMA issue to DSA launch, in slots. */
+    const Sampler &queueDelay() const { return queue_delay_; }
+
+  private:
+    RequestRegister rr_;
+    OngoingRequests &orr_;
+    Counter launches_;
+    Counter stalls_;
+    Sampler queue_delay_;
+};
+
+} // namespace pktbuf::dss
+
+#endif // PKTBUF_DSS_DRAM_SCHEDULER_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The Ongoing Requests Register (ORR, Section 5.3): the identifiers
+ * of the banks whose accesses are still within the DRAM random
+ * access time.  A bank listed here is *locked*; the DSA never
+ * launches a request to a locked bank.
+ *
+ * In hardware this is a short shift register of bank ids; here it is
+ * the shared lock table for the read and write schedulers, pruned by
+ * completion time, plus occupancy statistics so tests can check the
+ * paper's ORR sizing (B/b - 1 per request stream).
+ */
+
+#ifndef PKTBUF_DSS_ONGOING_REQUESTS_HH
+#define PKTBUF_DSS_ONGOING_REQUESTS_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pktbuf::dss
+{
+
+class OngoingRequests
+{
+  public:
+    explicit OngoingRequests(Slot access_slots)
+        : access_slots_(access_slots)
+    {}
+
+    /** Record a launched access: bank locked until now + t_RC. */
+    void
+    add(unsigned bank, Slot now)
+    {
+        prune(now);
+        panic_if(lockedNoPrune(bank),
+                 "ORR already holds bank ", bank,
+                 ": the DSA launched a conflicting access");
+        entries_.push_back({bank, now + access_slots_});
+        high_water_.observe(static_cast<std::int64_t>(entries_.size()));
+    }
+
+    /** Is the bank locked at `now`? */
+    bool
+    locked(unsigned bank, Slot now)
+    {
+        prune(now);
+        return lockedNoPrune(bank);
+    }
+
+    /** Entries currently held (after pruning at `now`). */
+    std::size_t
+    size(Slot now)
+    {
+        prune(now);
+        return entries_.size();
+    }
+
+    std::int64_t highWater() const { return high_water_.max(); }
+    Slot accessSlots() const { return access_slots_; }
+
+  private:
+    struct Entry
+    {
+        unsigned bank;
+        Slot until;
+    };
+
+    bool
+    lockedNoPrune(unsigned bank) const
+    {
+        for (const auto &e : entries_)
+            if (e.bank == bank)
+                return true;
+        return false;
+    }
+
+    void
+    prune(Slot now)
+    {
+        while (!entries_.empty() && entries_.front().until <= now)
+            entries_.pop_front();
+    }
+
+    Slot access_slots_;
+    std::deque<Entry> entries_;
+    HighWater high_water_;
+};
+
+} // namespace pktbuf::dss
+
+#endif // PKTBUF_DSS_ONGOING_REQUESTS_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The Requests Register (RR, Section 5.3 / 8.1): an age-ordered
+ * window of MMA requests awaiting DRAM access, functionally
+ * equivalent to an out-of-order issue queue with wake-up (bank not
+ * locked) and select (oldest ready) stages plus compaction.  One
+ * register holds both reads and writes (Figure 5); writes of the
+ * same queue launch in order because the cells a write carries are
+ * extracted from the tail SRAM FIFO at launch time.
+ */
+
+#ifndef PKTBUF_DSS_REQUEST_REGISTER_HH
+#define PKTBUF_DSS_REQUEST_REGISTER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "dss/request.hh"
+
+namespace pktbuf::dss
+{
+
+class RequestRegister
+{
+  public:
+    /**
+     * @param capacity maximum entries (R); 0 = unbounded.
+     * @param in_order_per_queue block younger entries of a queue
+     *        behind older pending ones (write path).
+     */
+    explicit RequestRegister(std::size_t capacity,
+                             bool in_order_per_queue = false)
+        : capacity_(capacity), in_order_per_queue_(in_order_per_queue)
+    {}
+
+    /** Insert a new request at the tail (youngest). */
+    void
+    push(const DramRequest &req)
+    {
+        entries_.push_back(req);
+        high_water_.observe(static_cast<std::int64_t>(entries_.size()));
+        panic_if(capacity_ && entries_.size() > capacity_,
+                 "Requests Register overflow: ", entries_.size(),
+                 " > R = ", capacity_,
+                 " -- Eq. (1) sizing violated");
+    }
+
+    /**
+     * Select the *oldest* request whose bank is not locked, remove
+     * it (compacting the register) and return it.  Every older
+     * request passed over gains one skip; max skips are tracked so
+     * tests can check Eq. (2).
+     */
+    std::optional<DramRequest>
+    selectOldestReady(const std::function<bool(unsigned)> &locked)
+    {
+        std::vector<QueueId> passed_write_queues;
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            const bool is_write =
+                entries_[i].kind == DramRequest::Kind::Write;
+            const bool queue_blocked =
+                in_order_per_queue_ && is_write &&
+                contains(passed_write_queues, entries_[i].physQueue);
+            if (queue_blocked || locked(entries_[i].bank)) {
+                if (is_write)
+                    passed_write_queues.push_back(
+                        entries_[i].physQueue);
+                continue;
+            }
+            DramRequest req = entries_[i];
+            for (std::size_t j = 0; j < i; ++j) {
+                ++entries_[j].skips;
+                max_skips_.observe(entries_[j].skips);
+            }
+            entries_.erase(entries_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            return req;
+        }
+        return std::nullopt;
+    }
+
+    /**
+     * Squash one pending request matching `pred` (oldest first);
+     * used when a pending write is cancelled in favor of an
+     * SRAM-to-SRAM bypass.  Returns the squashed request.
+     */
+    std::optional<DramRequest>
+    cancel(const std::function<bool(const DramRequest &)> &pred)
+    {
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (pred(entries_[i])) {
+                DramRequest req = entries_[i];
+                entries_.erase(entries_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                return req;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    std::size_t capacity() const { return capacity_; }
+    std::int64_t highWater() const { return high_water_.max(); }
+    std::int64_t maxSkips() const { return max_skips_.max(); }
+
+    /** Oldest-first iteration for tests and introspection. */
+    const std::deque<DramRequest> &entries() const { return entries_; }
+
+  private:
+    static bool
+    contains(const std::vector<QueueId> &v, QueueId q)
+    {
+        for (const auto x : v)
+            if (x == q)
+                return true;
+        return false;
+    }
+
+    std::size_t capacity_;
+    bool in_order_per_queue_;
+    std::deque<DramRequest> entries_;
+    HighWater high_water_;
+    HighWater max_skips_;
+};
+
+} // namespace pktbuf::dss
+
+#endif // PKTBUF_DSS_REQUEST_REGISTER_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Earliest Critical Queue First (ECQF) memory-management algorithm
+ * (Section 3, after [13]).
+ *
+ * The MMA keeps one *occupancy counter* per physical queue: +b when a
+ * replenish request is issued, -1 when an arbiter request leaves the
+ * lookahead register.  To select a queue it walks the lookahead from
+ * head to tail, decrementing a scratch copy of the counters; the
+ * first queue whose scratch counter drops below zero is *critical*
+ * and is the one replenished.
+ */
+
+#ifndef PKTBUF_MMA_ECQF_HH
+#define PKTBUF_MMA_ECQF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/shift_register.hh"
+#include "common/types.hh"
+
+namespace pktbuf::mma
+{
+
+class EcqfMma
+{
+  public:
+    explicit EcqfMma(unsigned phys_queues)
+        : occ_(phys_queues, 0), scratch_(phys_queues, 0),
+          epoch_(phys_queues, 0)
+    {}
+
+    /** Replenish of `gran` cells was issued for queue p. */
+    void
+    onReplenishIssued(QueueId p, unsigned gran)
+    {
+        occ(p) += gran;
+    }
+
+    /**
+     * An arbiter request for p left the lookahead register.  With
+     * full lookahead ECQF keeps counters non-negative; shorter
+     * lookaheads may dip into deficit transiently (the real
+     * invariant is the zero-miss check at grant time).
+     */
+    void
+    onRequestLeaving(QueueId p)
+    {
+        occ(p) -= 1;
+    }
+
+    /**
+     * Scan the lookahead and return the earliest critical queue, or
+     * kInvalidQueue if no queue is critical.  `proj` maps a register
+     * entry to the physical queue it requests (kInvalidQueue for an
+     * idle stage).
+     */
+    template <typename T, typename Proj>
+    QueueId
+    select(const ShiftRegister<T> &lookahead, Proj proj)
+    {
+        ++scan_epoch_;
+        for (std::size_t i = 0; i < lookahead.depth(); ++i) {
+            const QueueId p = proj(lookahead.peek(i));
+            if (p == kInvalidQueue)
+                continue;
+            if (epoch_[p] != scan_epoch_) {
+                epoch_[p] = scan_epoch_;
+                scratch_[p] = occ_[p];
+            }
+            if (--scratch_[p] < 0)
+                return p;
+        }
+        return kInvalidQueue;
+    }
+
+    std::int64_t occupancy(QueueId p) const { return occ_[p]; }
+
+  private:
+    std::int64_t &
+    occ(QueueId p)
+    {
+        panic_if(p >= occ_.size(), "queue ", p, " out of range");
+        return occ_[p];
+    }
+
+    std::vector<std::int64_t> occ_;
+    // Scratch counters are epoch-tagged so a scan touches only the
+    // queues it actually meets in the lookahead.
+    std::vector<std::int64_t> scratch_;
+    std::vector<std::uint64_t> epoch_;
+    std::uint64_t scan_epoch_ = 0;
+};
+
+} // namespace pktbuf::mma
+
+#endif // PKTBUF_MMA_ECQF_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Threshold tail MMA (Section 3): every granularity interval,
+ * transfer b cells to DRAM from any queue whose t-SRAM occupancy is
+ * at least b.  A round-robin scan keeps the choice fair so no queue
+ * camps in the SRAM; with this policy the t-SRAM needs Q(b-1)+1
+ * cells.
+ */
+
+#ifndef PKTBUF_MMA_TAIL_MMA_HH
+#define PKTBUF_MMA_TAIL_MMA_HH
+
+#include <functional>
+
+#include "common/types.hh"
+
+namespace pktbuf::mma
+{
+
+class TailMma
+{
+  public:
+    explicit TailMma(unsigned phys_queues)
+        : queues_(phys_queues)
+    {}
+
+    /**
+     * Pick the next queue (round-robin from the last pick) whose
+     * unclaimed t-SRAM occupancy is at least `gran` and which is
+     * admissible (e.g. its DRAM group has room).  Returns
+     * kInvalidQueue if none qualifies.
+     */
+    QueueId
+    select(unsigned gran,
+           const std::function<std::uint64_t(QueueId)> &unclaimed,
+           const std::function<bool(QueueId)> &admissible)
+    {
+        for (unsigned i = 0; i < queues_; ++i) {
+            const QueueId p = (next_ + i) % queues_;
+            if (unclaimed(p) >= gran && admissible(p)) {
+                next_ = (p + 1) % queues_;
+                return p;
+            }
+        }
+        return kInvalidQueue;
+    }
+
+  private:
+    unsigned queues_;
+    QueueId next_ = 0;
+};
+
+} // namespace pktbuf::mma
+
+#endif // PKTBUF_MMA_TAIL_MMA_HH

@@ -1,0 +1,150 @@
+#include "cacti_lite.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pktbuf::model
+{
+
+namespace
+{
+
+double
+log2d(double x)
+{
+    return std::log2(std::max(x, 1.0));
+}
+
+unsigned
+ceilPow2(double x)
+{
+    unsigned p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+struct StageDelays
+{
+    double decode;
+    double wordline;
+    double bitline;
+    double route;
+    double areaMm2;
+    unsigned rows;
+    unsigned cols;
+};
+
+/**
+ * Delay and area of `totalBits` of storage split into `subarrays`
+ * roughly square sub-arrays.  `cellUm2`/`pitchUm` already include the
+ * port multiplier.  Shared by the SRAM and the CAM data-array paths.
+ */
+StageDelays
+organize(std::uint64_t totalBits, unsigned subarrays, double cellUm2,
+         double pitchUm, double portLoad, const TechParams &tech)
+{
+    const double bits_per_sub =
+        static_cast<double>(totalBits) / subarrays;
+    const unsigned rows = ceilPow2(std::sqrt(bits_per_sub));
+    const unsigned cols = ceilPow2(bits_per_sub / rows);
+
+    StageDelays d{};
+    d.rows = rows;
+    d.cols = cols;
+    d.decode = tech.fo4Ns * (3.0 + 0.9 * log2d(rows));
+    d.wordline = tech.wireNsPerMm * (cols * pitchUm / 1000.0);
+    d.bitline = tech.bitlineNsPerRow * rows * portLoad + tech.senseNs;
+    d.areaMm2 = totalBits * cellUm2 / tech.areaEfficiency / 1e6 +
+                subarrays * tech.subarrayOverheadMm2;
+    // H-tree from the centre to the farthest sub-array and back out.
+    d.route = tech.wireNsPerMm * std::sqrt(d.areaMm2) * 1.1;
+    return d;
+}
+
+} // namespace
+
+ArrayResult
+sramArray(std::uint64_t entries, unsigned bitsPerEntry, unsigned ports,
+          const TechParams &tech)
+{
+    panic_if(entries == 0 || bitsPerEntry == 0, "empty SRAM array");
+    panic_if(ports == 0, "SRAM needs at least one port");
+
+    const std::uint64_t bits = entries * bitsPerEntry;
+    const double port_mult = 1.0 + tech.portAreaFactor * (ports - 1);
+    const double cell = tech.sramCellUm2 * port_mult;
+    const double pitch = std::sqrt(cell);
+
+    ArrayResult best{};
+    best.accessNs = 1e30;
+    for (unsigned s = 1; s <= 8192; s <<= 1) {
+        const auto d =
+            organize(bits, s, cell, pitch, std::sqrt(port_mult), tech);
+        const double t =
+            d.decode + d.wordline + d.bitline + d.route + tech.outputNs;
+        if (t < best.accessNs) {
+            best.accessNs = t;
+            best.areaMm2 = d.areaMm2;
+            best.subarrays = s;
+            best.rows = d.rows;
+            best.cols = d.cols;
+        }
+        if (bits / (2ULL * s) < 64)
+            break; // further splitting leaves degenerate sub-arrays
+    }
+    panic_if(best.accessNs >= 1e30, "sub-array search failed");
+    return best;
+}
+
+ArrayResult
+camArray(std::uint64_t entries, unsigned tagBits, unsigned dataBits,
+         unsigned ports, const TechParams &tech)
+{
+    panic_if(entries == 0 || tagBits == 0, "empty CAM array");
+    panic_if(ports == 0, "CAM needs at least one port");
+
+    const double port_mult = 1.0 + tech.portAreaFactor * (ports - 1);
+
+    // Tag plane: CAM cells, flat (matchlines do not benefit from
+    // sub-banking without hierarchical match logic).
+    const double tag_area =
+        entries * tagBits * tech.camCellUm2 * port_mult /
+        tech.areaEfficiency / 1e6;
+    const double t_broadcast =
+        tech.wireNsPerMm * std::sqrt(tag_area) * 1.2;
+    const double t_match =
+        tech.matchNsPerBit * tagBits + tech.senseNs;
+    const double t_prio = tech.fo4Ns * (2.0 + 1.0 * log2d(entries));
+
+    // Data plane: SRAM cells, wordlines driven by match results, so
+    // no decoder stage; sub-array search as for plain SRAM.
+    const std::uint64_t data_bits =
+        entries * static_cast<std::uint64_t>(dataBits);
+    const double cell = tech.sramCellUm2 * port_mult;
+    const double pitch = std::sqrt(cell);
+
+    ArrayResult best{};
+    best.accessNs = 1e30;
+    for (unsigned s = 1; s <= 8192; s <<= 1) {
+        const auto d = organize(data_bits, s, cell, pitch,
+                                std::sqrt(port_mult), tech);
+        const double t = t_broadcast + t_match + t_prio + d.wordline +
+                         d.bitline + d.route + tech.outputNs;
+        if (t < best.accessNs) {
+            best.accessNs = t;
+            best.areaMm2 = d.areaMm2 + tag_area;
+            best.subarrays = s;
+            best.rows = d.rows;
+            best.cols = d.cols;
+        }
+        if (data_bits / (2ULL * s) < 64)
+            break; // further splitting leaves degenerate sub-arrays
+    }
+    panic_if(best.accessNs >= 1e30, "sub-array search failed");
+    return best;
+}
+
+} // namespace pktbuf::model

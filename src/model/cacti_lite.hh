@@ -1,0 +1,81 @@
+/**
+ * @file
+ * CACTI-3-flavored analytical timing/area model for SRAM and CAM
+ * arrays at a 0.13 um process.
+ *
+ * The paper uses CACTI 3.0 (Shivakumar & Jouppi) to size the h-SRAM
+ * and t-SRAM buffers (Section 7.1).  We reimplement the part of the
+ * model the evaluation depends on: a sub-array organization search
+ * over a decoder / wordline / bitline / sense-amp / routing pipeline,
+ * with per-port area and pitch scaling.  Constants are calibrated to
+ * the anchor points reported in the paper (see DESIGN.md Section 3);
+ * shapes (growth with capacity, CAM-vs-SRAM and port penalties) are
+ * produced by the structural model.
+ */
+
+#ifndef PKTBUF_MODEL_CACTI_LITE_HH
+#define PKTBUF_MODEL_CACTI_LITE_HH
+
+#include <cstdint>
+
+namespace pktbuf::model
+{
+
+/** Process / circuit constants.  Defaults model 0.13 um. */
+struct TechParams
+{
+    double featureUm = 0.13;
+    /** Fanout-of-4 inverter delay (ns); gate-dominated stages. */
+    double fo4Ns = 0.036;
+    /** Delay of a repeated global wire (ns per mm). */
+    double wireNsPerMm = 0.33;
+    /** 6T SRAM cell area (um^2). */
+    double sramCellUm2 = 2.43;
+    /** CAM (tag) cell area: 9T + matchline (um^2). */
+    double camCellUm2 = 5.90;
+    /** Bitline RC per row crossed (ns). */
+    double bitlineNsPerRow = 0.0010;
+    /** Matchline discharge per tag bit (ns). */
+    double matchNsPerBit = 0.0012;
+    /** Sense amplifier resolve time (ns). */
+    double senseNs = 0.10;
+    /** Output driver / latch (ns). */
+    double outputNs = 0.10;
+    /** Fraction of macro area that is storage cells. */
+    double areaEfficiency = 0.60;
+    /** Extra area per port beyond the first (fraction of cell). */
+    double portAreaFactor = 0.65;
+    /** Fixed overhead per sub-array (decoders, sense strips), mm^2. */
+    double subarrayOverheadMm2 = 0.012;
+};
+
+/** Result of sizing one memory macro. */
+struct ArrayResult
+{
+    double accessNs = 0.0;   //!< one read or write access
+    double areaMm2 = 0.0;    //!< total macro area
+    unsigned subarrays = 1;  //!< organization chosen by the search
+    unsigned rows = 0;       //!< rows per sub-array
+    unsigned cols = 0;       //!< columns (bits) per sub-array
+};
+
+/**
+ * Size a direct-mapped SRAM of `entries` words of `bitsPerEntry`
+ * bits with `ports` identical read/write ports.  Searches sub-array
+ * counts (powers of two) for minimum access time.
+ */
+ArrayResult sramArray(std::uint64_t entries, unsigned bitsPerEntry,
+                      unsigned ports, const TechParams &tech = {});
+
+/**
+ * Size a fully associative structure: `tagBits` of CAM per entry
+ * driving a `dataBits` SRAM payload, `ports` ports.  Access time is
+ * tag broadcast + matchline + priority encode + data array read.
+ */
+ArrayResult camArray(std::uint64_t entries, unsigned tagBits,
+                     unsigned dataBits, unsigned ports,
+                     const TechParams &tech = {});
+
+} // namespace pktbuf::model
+
+#endif // PKTBUF_MODEL_CACTI_LITE_HH

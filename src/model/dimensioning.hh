@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Closed-form dimensioning of RADS and CFDS packet buffers: SRAM
+ * sizes, lookahead, Requests-Register size (Eq. 1), maximum skip
+ * count (Eq. 2), latency register depth (Eq. 3) and total SRAM size
+ * (Eq. 4) from the paper, plus the SRAM-size-vs-lookahead trade-off
+ * of the RADS baseline ([13], Iyer/Kompella/McKeown).
+ *
+ * All sizes are in cells (64 bytes each) and all delays in time-slots
+ * unless stated otherwise.
+ */
+
+#ifndef PKTBUF_MODEL_DIMENSIONING_HH
+#define PKTBUF_MODEL_DIMENSIONING_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pktbuf::model
+{
+
+/**
+ * Static parameters of a buffer memory system.
+ *
+ * RADS is the special case b == B (a single logical bank accessed
+ * every DRAM random-access time); CFDS uses b < B with M banks
+ * organized in G = M / (B/b) groups of B/b banks.
+ */
+struct BufferParams
+{
+    unsigned queues = 512;       //!< Q: number of (physical) VOQs
+    unsigned granRads = 32;      //!< B: t_RC in slots (RADS granularity)
+    unsigned gran = 32;          //!< b: CFDS granularity (b divides B)
+    unsigned banks = 256;        //!< M: number of DRAM banks
+
+    /** B/b: banks per group == depth of bank interleaving. */
+    unsigned banksPerGroup() const;
+    /** G = M / (B/b): number of bank groups. */
+    unsigned groups() const;
+    /** ceil(Q / G): queues mapped to one group. */
+    unsigned queuesPerGroup() const;
+    /** True for the b == B degenerate (RADS) configuration. */
+    bool isRads() const { return gran == granRads; }
+
+    /** Throws FatalError unless the parameters are consistent. */
+    void validate() const;
+};
+
+/**
+ * Lookahead register depth that lets ECQF guarantee zero misses with
+ * the minimum SRAM: Q(b-1) + 1 slots ([13], Section 3).
+ */
+std::uint64_t ecqfLookaheadSlots(unsigned queues, unsigned gran);
+
+/** Head SRAM size for ECQF at full lookahead: Q(b-1) cells. */
+std::uint64_t ecqfSramCells(unsigned queues, unsigned gran);
+
+/**
+ * Head SRAM size for MDQF with no lookahead:
+ * Q(b-1)(2 + ln Q) cells ([13]).
+ */
+std::uint64_t mdqfSramCells(unsigned queues, unsigned gran);
+
+/**
+ * Head SRAM size as a function of an arbitrary lookahead L in
+ * [1, ecqfLookaheadSlots]:  the published endpoints are
+ * L = 1  -> Q(b-1)(2 + ln Q)   (MDQF, no useful lookahead) and
+ * L = Q(b-1)+1 -> Q(b-1)       (ECQF).  Between them we use the
+ * logarithmic interpolation described in DESIGN.md (Section 3).
+ */
+std::uint64_t radsSramCells(std::uint64_t lookahead, unsigned queues,
+                            unsigned gran);
+
+/**
+ * Tail SRAM size for the threshold t-MMA: Q(b-1) + 1 cells
+ * (Section 3: transfer b cells from any queue holding >= b).
+ */
+std::uint64_t tailSramCells(unsigned queues, unsigned gran);
+
+/**
+ * Requests Register size R guaranteeing the DSA always finds a
+ * non-locked request (Eq. 1).  Matches every entry of Table 2.
+ * The factor 2Q accounts for the DSS managing both reads and writes.
+ */
+std::uint64_t rrSize(const BufferParams &p);
+
+/** Maximum number of times the DSA can skip one request (Eq. 2). */
+std::uint64_t dsaMaxSkips(const BufferParams &p);
+
+/**
+ * Depth of the latency shift register in slots (Eq. 3): worst-case
+ * RR traversal plus worst-case skip delay plus the DRAM access
+ * itself.
+ */
+std::uint64_t latencySlots(const BufferParams &p);
+
+/**
+ * Total head-SRAM size of a CFDS configuration (Eq. 4): the MMA
+ * requirement for granularity b plus the reorder/latency slack.
+ */
+std::uint64_t cfdsSramCells(std::uint64_t lookahead, const BufferParams &p);
+
+/** Size of the Ongoing Requests Register: B/b - 1 entries. */
+std::uint64_t orrSize(const BufferParams &p);
+
+/**
+ * Time available to schedule one request: a new DRAM access begins
+ * every b slots (Table 2, "Sched. time").
+ */
+double schedBudgetNs(const BufferParams &p, LineRate rate);
+
+} // namespace pktbuf::model
+
+#endif // PKTBUF_MODEL_DIMENSIONING_HH

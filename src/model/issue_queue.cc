@@ -1,0 +1,66 @@
+#include "issue_queue.hh"
+
+#include <cmath>
+
+namespace pktbuf::model
+{
+
+std::string
+toString(SchedFeasibility f)
+{
+    switch (f) {
+      case SchedFeasibility::Unneeded:
+        return "unneeded";
+      case SchedFeasibility::Trivial:
+        return "trivial";
+      case SchedFeasibility::Attainable:
+        return "attainable";
+      case SchedFeasibility::Aggressive:
+        return "aggressive";
+      case SchedFeasibility::Difficult:
+        return "difficult";
+    }
+    return "?";
+}
+
+double
+rrSchedTimeNs(std::uint64_t rr_entries, double feature_um)
+{
+    if (rr_entries == 0)
+        return 0.0;
+    // Select-tree wire delay ~ sqrt(entries); small logic term.
+    // Calibrated so a 20-entry queue takes ~1 ns at 0.35 um (Alpha
+    // 21264, [14]) after linear feature-size scaling.
+    const double scale = feature_um / 0.13;
+    const double n = static_cast<double>(rr_entries);
+    return scale * (0.19 * std::sqrt(n) +
+                    0.035 * std::log2(n + 1.0));
+}
+
+double
+rrSchedAreaCm2(std::uint64_t rr_entries, double feature_um)
+{
+    // 20 entries ~ 0.05 cm^2 at 0.35 um; area scales with entries
+    // and feature size squared.
+    const double scale = (feature_um / 0.35) * (feature_um / 0.35);
+    return 0.05 * scale * (static_cast<double>(rr_entries) / 20.0);
+}
+
+SchedFeasibility
+classifySched(std::uint64_t rr_entries, double budget_ns,
+              double feature_um)
+{
+    if (rr_entries == 0)
+        return SchedFeasibility::Unneeded;
+    const double t = rrSchedTimeNs(rr_entries, feature_um);
+    const double ratio = t / budget_ns;
+    if (ratio <= 0.30)
+        return SchedFeasibility::Trivial;
+    if (ratio <= 0.80)
+        return SchedFeasibility::Attainable;
+    if (ratio <= 1.05)
+        return SchedFeasibility::Aggressive;
+    return SchedFeasibility::Difficult;
+}
+
+} // namespace pktbuf::model

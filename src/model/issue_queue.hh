@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Scheduling-time model for the Requests Register wake-up/select
+ * logic (Section 8.1).  The paper anchors feasibility on the Alpha
+ * 21264's 20-entry issue queue (about 1 ns at 0.35 um, 0.05 cm^2).
+ * We model select time as dominated by the wire component of the
+ * hierarchical selection tree, which grows with sqrt(entries)
+ * (Palacharla et al.), and classify each configuration against the
+ * per-request budget of b slots.
+ */
+
+#ifndef PKTBUF_MODEL_ISSUE_QUEUE_HH
+#define PKTBUF_MODEL_ISSUE_QUEUE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pktbuf::model
+{
+
+/** Feasibility classes used when reporting Table 2. */
+enum class SchedFeasibility
+{
+    Unneeded,    //!< R == 0: no scheduler required
+    Trivial,     //!< far under budget
+    Attainable,  //!< comfortably under budget
+    Aggressive,  //!< at the edge of the budget
+    Difficult,   //!< exceeds the budget
+};
+
+std::string toString(SchedFeasibility f);
+
+/** Wake-up + select time for an R-entry requests register (ns). */
+double rrSchedTimeNs(std::uint64_t rr_entries, double feature_um = 0.13);
+
+/** Estimated area of the RR scheduling logic (cm^2). */
+double rrSchedAreaCm2(std::uint64_t rr_entries, double feature_um = 0.13);
+
+/** Classify an RR against the per-request time budget. */
+SchedFeasibility classifySched(std::uint64_t rr_entries,
+                               double budget_ns,
+                               double feature_um = 0.13);
+
+} // namespace pktbuf::model
+
+#endif // PKTBUF_MODEL_ISSUE_QUEUE_HH

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Queue renaming (Section 6): each *logical* queue (the name the
+ * switch scheduler uses) is backed by a chain of *physical* queues
+ * (the names the MMA/DSS/DRAM machinery uses), recorded in a
+ * circular renaming register of (phys queue, counters) elements.
+ *
+ * Cells are assigned to the tail physical queue on arrival; when the
+ * tail's bank group runs out of DRAM space a fresh physical queue is
+ * allocated from the group with the most free space, so one logical
+ * queue can occupy the whole DRAM.  Scheduler requests drain the
+ * head physical queue; a fully drained element retires and its
+ * physical queue returns to the free pool.
+ *
+ * Physical queues are oversubscribed (P >= Q logical) so every
+ * active logical queue always has at least one.
+ */
+
+#ifndef PKTBUF_RENAME_RENAMING_TABLE_HH
+#define PKTBUF_RENAME_RENAMING_TABLE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pktbuf::rename
+{
+
+/** Reports the free DRAM cells of a group (committed space off). */
+using GroupFreeFn = std::function<std::uint64_t(unsigned)>;
+
+class RenamingTable
+{
+  public:
+    /**
+     * @param logical_queues Q: names the scheduler uses
+     * @param phys_queues    P >= Q: names the machinery uses
+     * @param groups         bank groups; phys queue p belongs to
+     *                       group (p mod groups)
+     */
+    RenamingTable(unsigned logical_queues, unsigned phys_queues,
+                  unsigned groups)
+        : groups_(groups), regs_(logical_queues), free_pool_(groups)
+    {
+        fatal_if(phys_queues < logical_queues,
+                 "physical queues (", phys_queues,
+                 ") must be oversubscribed beyond logical queues (",
+                 logical_queues, ")");
+        fatal_if(groups == 0, "no groups");
+        for (QueueId p = 0; p < phys_queues; ++p)
+            free_pool_[p % groups].push_back(p);
+    }
+
+    /** Side-effect-free admission check for one cell of `lq`. */
+    bool
+    canAssign(QueueId lq, const GroupFreeFn &group_free) const
+    {
+        const auto &reg = regs_[lq];
+        if (!reg.elems.empty() &&
+            group_free(groupOf(reg.elems.back().phys)) >= 1) {
+            return true;
+        }
+        return pickGroup(group_free) >= 0;
+    }
+
+    /**
+     * Assign an arriving cell of `lq` to a physical queue,
+     * allocating a new one if the current tail's group is out of
+     * DRAM space.  Panics if admission (canAssign) would have
+     * failed -- callers must check first.
+     */
+    QueueId
+    assignArrival(QueueId lq, const GroupFreeFn &group_free)
+    {
+        auto &reg = r(lq);
+        const bool tail_ok =
+            !reg.elems.empty() &&
+            group_free(groupOf(reg.elems.back().phys)) >= 1;
+        if (!tail_ok) {
+            const int g = pickGroup(group_free);
+            panic_if(g < 0, "assignArrival without admission check");
+            Element e;
+            e.phys = free_pool_[static_cast<unsigned>(g)].front();
+            free_pool_[static_cast<unsigned>(g)].pop_front();
+            reg.elems.push_back(e);
+            if (reg.elems.size() > 1)
+                renames_.inc();
+        }
+        ++reg.elems.back().assigned;
+        return reg.elems.back().phys;
+    }
+
+    /** Translate one scheduler request for `lq` (FIFO order). */
+    QueueId
+    translateRequest(QueueId lq)
+    {
+        auto &reg = r(lq);
+        panic_if(reg.elems.empty(),
+                 "request for logical queue ", lq,
+                 " with no physical queue");
+        while (reg.req_idx + 1 < reg.elems.size() &&
+               reg.elems[reg.req_idx].requested ==
+                   reg.elems[reg.req_idx].assigned) {
+            ++reg.req_idx;
+        }
+        auto &e = reg.elems[reg.req_idx];
+        panic_if(e.requested >= e.assigned,
+                 "request overruns arrivals on logical queue ", lq);
+        ++e.requested;
+        return e.phys;
+    }
+
+    /**
+     * A cell of `lq` was granted.  Grants follow request order, so
+     * the cell belongs to the first element with an outstanding
+     * request (a fully drained head element can linger when it was
+     * the sole element at its last grant and a successor was
+     * allocated afterwards).  Returns every physical queue retired
+     * by this grant, oldest first.
+     */
+    std::vector<QueueId>
+    onGrant(QueueId lq)
+    {
+        auto &reg = r(lq);
+        panic_if(reg.elems.empty(), "grant with no elements");
+        std::size_t gi = 0;
+        while (gi < reg.elems.size() &&
+               reg.elems[gi].granted == reg.elems[gi].requested) {
+            ++gi;
+        }
+        panic_if(gi == reg.elems.size(),
+                 "grant without outstanding request on logical"
+                 " queue ", lq);
+        ++reg.elems[gi].granted;
+        // Retire every head element that nothing can reference any
+        // more: not the tail (no future arrivals) and every assigned
+        // cell requested and granted.
+        std::vector<QueueId> recycled;
+        while (reg.elems.size() > 1) {
+            const auto &f = reg.elems.front();
+            if (f.requested != f.assigned || f.granted != f.assigned)
+                break;
+            recycled.push_back(f.phys);
+            free_pool_[groupOf(f.phys)].push_back(f.phys);
+            recycles_.inc();
+            reg.elems.pop_front();
+            // req_idx advances lazily at translate time; if it still
+            // pointed at the retired head it now points at index 0.
+            if (reg.req_idx > 0)
+                --reg.req_idx;
+        }
+        return recycled;
+    }
+
+    /** Physical queues currently backing `lq` (register length). */
+    std::size_t
+    chainLength(QueueId lq) const
+    {
+        return regs_[lq].elems.size();
+    }
+
+    /** Current tail physical queue of `lq` (for introspection). */
+    QueueId
+    tailPhys(QueueId lq) const
+    {
+        const auto &reg = regs_[lq];
+        return reg.elems.empty() ? kInvalidQueue
+                                 : reg.elems.back().phys;
+    }
+
+    unsigned groupOf(QueueId p) const { return p % groups_; }
+
+    /** Cross-group reallocations performed. */
+    std::uint64_t renames() const { return renames_.value(); }
+    /** Physical queues returned to the free pool. */
+    std::uint64_t recycles() const { return recycles_.value(); }
+
+    std::size_t
+    freePhysCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &pool : free_pool_)
+            n += pool.size();
+        return n;
+    }
+
+  private:
+    struct Element
+    {
+        QueueId phys = kInvalidQueue;
+        std::uint64_t assigned = 0;   //!< cells routed here
+        std::uint64_t requested = 0;  //!< scheduler requests seen
+        std::uint64_t granted = 0;    //!< cells delivered
+    };
+
+    struct Register
+    {
+        std::deque<Element> elems;
+        std::size_t req_idx = 0;
+    };
+
+    Register &
+    r(QueueId lq)
+    {
+        panic_if(lq >= regs_.size(), "logical queue ", lq,
+                 " out of range");
+        return regs_[lq];
+    }
+
+    /**
+     * Group with the most free DRAM space that still has a free
+     * physical name and room for at least one cell, or -1.
+     */
+    int
+    pickGroup(const GroupFreeFn &group_free) const
+    {
+        int best = -1;
+        std::uint64_t best_free = 0;
+        for (unsigned g = 0; g < groups_; ++g) {
+            if (free_pool_[g].empty())
+                continue;
+            const auto fr = group_free(g);
+            if (fr >= 1 && (best < 0 || fr > best_free)) {
+                best = static_cast<int>(g);
+                best_free = fr;
+            }
+        }
+        return best;
+    }
+
+    unsigned groups_;
+    std::vector<Register> regs_;
+    std::vector<std::deque<QueueId>> free_pool_;
+    Counter renames_;
+    Counter recycles_;
+};
+
+} // namespace pktbuf::rename
+
+#endif // PKTBUF_RENAME_RENAMING_TABLE_HH

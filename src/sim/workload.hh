@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Workload generators: per-slot cell arrivals and per-slot arbiter
+ * (switch-fabric scheduler) requests.
+ *
+ * A workload may request a cell of queue q at slot t only if that
+ * cell has already arrived and has not been requested yet -- the
+ * switch scheduler never asks for data that is not in the buffer.
+ * The base class tracks per-queue "requestable" credit so concrete
+ * patterns cannot violate this; the *order* in which queues are
+ * drained is what distinguishes adversarial from benign patterns.
+ */
+
+#ifndef PKTBUF_SIM_WORKLOAD_HH
+#define PKTBUF_SIM_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace pktbuf::sim
+{
+
+/** One slot's stimulus. */
+struct Stimulus
+{
+    std::optional<Cell> arrival;      //!< at most one cell in
+    QueueId request = kInvalidQueue;  //!< at most one request out
+};
+
+/**
+ * Base workload: derived classes choose the arrival queue and the
+ * request queue; this class stamps cells, enforces request validity
+ * and tracks credits.
+ */
+class Workload
+{
+  public:
+    Workload(unsigned queues, std::uint64_t seed)
+        : queues_(queues), rng_(seed), credit_(queues, 0),
+          next_seq_(queues, 0)
+    {}
+
+    virtual ~Workload() = default;
+
+    /**
+     * Produce this slot's stimulus.  If `admit` is provided and
+     * rejects the arrival's queue, the cell is dropped *before* it
+     * exists (counted in drops()) -- modeling ingress admission
+     * control / loss.
+     */
+    Stimulus
+    step(Slot now,
+         const std::function<bool(QueueId)> &admit = {})
+    {
+        Stimulus s;
+        const QueueId aq = arrivalQueue(now);
+        if (aq != kInvalidQueue && admit && !admit(aq)) {
+            ++drops_;
+        } else if (aq != kInvalidQueue) {
+            Cell c;
+            c.queue = aq;
+            c.seq = next_seq_[aq]++;
+            c.arrival = now;
+            s.arrival = c;
+            ++credit_[aq];
+        }
+        const QueueId rq = requestQueue(now);
+        if (rq != kInvalidQueue) {
+            panic_if(credit_[rq] == 0,
+                     "workload requested unavailable cell, queue ", rq);
+            --credit_[rq];
+            s.request = rq;
+        }
+        return s;
+    }
+
+    unsigned queues() const { return queues_; }
+
+    /** Cells arrived but not yet requested, per queue. */
+    std::uint64_t credit(QueueId q) const { return credit_[q]; }
+
+    /** Arrivals rejected by the admission predicate. */
+    std::uint64_t drops() const { return drops_; }
+
+    /**
+     * Externally consume one credit of queue q (used by drain loops
+     * that issue requests outside of step()).
+     */
+    void
+    consumeCredit(QueueId q)
+    {
+        panic_if(credit_[q] == 0, "no credit on queue ", q);
+        --credit_[q];
+    }
+
+    virtual std::string name() const = 0;
+
+  protected:
+    /** Queue receiving a cell this slot, or kInvalidQueue. */
+    virtual QueueId arrivalQueue(Slot now) = 0;
+    /** Queue to request this slot (must have credit), or invalid. */
+    virtual QueueId requestQueue(Slot now) = 0;
+
+    /** First queue with credit at or after `from`, cyclic. */
+    QueueId
+    nextRequestable(QueueId from) const
+    {
+        for (unsigned i = 0; i < queues_; ++i) {
+            const QueueId q = (from + i) % queues_;
+            if (credit_[q] > 0)
+                return q;
+        }
+        return kInvalidQueue;
+    }
+
+    /** Uniformly random queue with credit, or invalid if none. */
+    QueueId
+    randomRequestable()
+    {
+        // Start from a random point and scan; uniform enough for
+        // traffic generation and O(Q) worst case.
+        return nextRequestable(
+            static_cast<QueueId>(rng_.below(queues_)));
+    }
+
+    unsigned queues_;
+    Rng rng_;
+
+  private:
+    std::vector<std::uint64_t> credit_;
+    std::vector<SeqNum> next_seq_;
+    std::uint64_t drops_ = 0;
+};
+
+/**
+ * The ECQF worst case (Section 3): arrivals fill queues round-robin;
+ * the arbiter also drains queues round-robin, one cell per queue,
+ * so all SRAM queues empty at about the same time.
+ */
+class RoundRobinWorstCase : public Workload
+{
+  public:
+    RoundRobinWorstCase(unsigned queues, std::uint64_t seed,
+                        double load = 1.0, std::uint64_t warmup = 0)
+        : Workload(queues, seed), load_(load), warmup_(warmup)
+    {}
+
+    std::string name() const override { return "round-robin-worst"; }
+
+  protected:
+    QueueId
+    arrivalQueue(Slot) override
+    {
+        if (load_ < 1.0 && !rng_.chance(load_))
+            return kInvalidQueue;
+        const QueueId q = arr_;
+        arr_ = (arr_ + 1) % queues_;
+        return q;
+    }
+
+    QueueId
+    requestQueue(Slot now) override
+    {
+        if (now < warmup_)
+            return kInvalidQueue;
+        const QueueId q = nextRequestable(req_);
+        if (q == kInvalidQueue)
+            return q;
+        req_ = (q + 1) % queues_;
+        return q;
+    }
+
+  private:
+    double load_;
+    std::uint64_t warmup_;
+    QueueId arr_ = 0;
+    QueueId req_ = 0;
+};
+
+/** Uniform random arrivals and requests at a given load. */
+class UniformRandom : public Workload
+{
+  public:
+    UniformRandom(unsigned queues, std::uint64_t seed,
+                  double load = 1.0)
+        : Workload(queues, seed), load_(load)
+    {}
+
+    std::string name() const override { return "uniform-random"; }
+
+  protected:
+    QueueId
+    arrivalQueue(Slot) override
+    {
+        if (!rng_.chance(load_))
+            return kInvalidQueue;
+        return static_cast<QueueId>(rng_.below(queues_));
+    }
+
+    QueueId
+    requestQueue(Slot) override
+    {
+        if (!rng_.chance(load_))
+            return kInvalidQueue;
+        return randomRequestable();
+    }
+
+  private:
+    double load_;
+};
+
+/**
+ * Bursty on/off traffic: a few "hot" queues receive long bursts; the
+ * arbiter drains in random order.  Stresses the tail path and, with
+ * renaming, group balancing.
+ */
+class BurstyOnOff : public Workload
+{
+  public:
+    BurstyOnOff(unsigned queues, std::uint64_t seed,
+                std::uint64_t burst_len = 256, double load = 1.0)
+        : Workload(queues, seed), burst_len_(burst_len), load_(load)
+    {}
+
+    std::string name() const override { return "bursty-on-off"; }
+
+  protected:
+    QueueId
+    arrivalQueue(Slot) override
+    {
+        if (!rng_.chance(load_))
+            return kInvalidQueue;
+        if (remaining_ == 0) {
+            hot_ = static_cast<QueueId>(rng_.below(queues_));
+            remaining_ = 1 + rng_.below(burst_len_);
+        }
+        --remaining_;
+        return hot_;
+    }
+
+    QueueId
+    requestQueue(Slot) override
+    {
+        if (!rng_.chance(load_))
+            return kInvalidQueue;
+        return randomRequestable();
+    }
+
+  private:
+    std::uint64_t burst_len_;
+    double load_;
+    QueueId hot_ = 0;
+    std::uint64_t remaining_ = 0;
+};
+
+/** All traffic on one queue: maximum pressure on a single group. */
+class SingleQueue : public Workload
+{
+  public:
+    SingleQueue(unsigned queues, std::uint64_t seed, QueueId target = 0,
+                std::uint64_t lead = 0)
+        : Workload(queues, seed), target_(target), lead_(lead)
+    {}
+
+    std::string name() const override { return "single-queue"; }
+
+  protected:
+    QueueId arrivalQueue(Slot) override { return target_; }
+
+    QueueId
+    requestQueue(Slot now) override
+    {
+        if (now < lead_ || credit(target_) == 0)
+            return kInvalidQueue;
+        return target_;
+    }
+
+  private:
+    QueueId target_;
+    std::uint64_t lead_;
+};
+
+/**
+ * Arrivals round-robin over a configurable subset of queues (e.g.
+ * all queues of one bank group) -- used by the fragmentation and
+ * renaming experiments.
+ */
+class SubsetRoundRobin : public Workload
+{
+  public:
+    SubsetRoundRobin(unsigned queues, std::uint64_t seed,
+                     std::vector<QueueId> subset,
+                     double request_load = 1.0)
+        : Workload(queues, seed), subset_(std::move(subset)),
+          request_load_(request_load)
+    {
+        panic_if(subset_.empty(), "empty subset");
+    }
+
+    std::string name() const override { return "subset-round-robin"; }
+
+  protected:
+    QueueId
+    arrivalQueue(Slot) override
+    {
+        const QueueId q = subset_[idx_];
+        idx_ = (idx_ + 1) % subset_.size();
+        return q;
+    }
+
+    QueueId
+    requestQueue(Slot) override
+    {
+        if (!rng_.chance(request_load_))
+            return kInvalidQueue;
+        return randomRequestable();
+    }
+
+  private:
+    std::vector<QueueId> subset_;
+    double request_load_;
+    std::size_t idx_ = 0;
+};
+
+/** Replay of an explicit per-slot trace (used by unit tests). */
+class TraceReplay : public Workload
+{
+  public:
+    struct Entry
+    {
+        QueueId arrival = kInvalidQueue;
+        QueueId request = kInvalidQueue;
+    };
+
+    TraceReplay(unsigned queues, std::vector<Entry> trace)
+        : Workload(queues, 1), trace_(std::move(trace))
+    {}
+
+    std::string name() const override { return "trace-replay"; }
+
+  protected:
+    QueueId
+    arrivalQueue(Slot now) override
+    {
+        return now < trace_.size() ? trace_[now].arrival
+                                   : kInvalidQueue;
+    }
+
+    QueueId
+    requestQueue(Slot now) override
+    {
+        return now < trace_.size() ? trace_[now].request
+                                   : kInvalidQueue;
+    }
+
+  private:
+    std::vector<Entry> trace_;
+};
+
+} // namespace pktbuf::sim
+
+#endif // PKTBUF_SIM_WORKLOAD_HH

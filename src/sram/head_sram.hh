@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Functional model of the head SRAM (h-SRAM): the egress cache that
+ * must always contain the cell the arbiter is about to be granted.
+ *
+ * CFDS refills can complete out of order (the DSA may launch a
+ * younger request of the same queue first, Section 8.2), so blocks
+ * are inserted keyed by the *replenish sequence number* assigned at
+ * MMA issue time, and the reader always consumes the lowest
+ * outstanding sequence.  A pop that does not find its cell is a
+ * *miss* and panics -- the zero-miss guarantee is an invariant here,
+ * not a statistic.
+ */
+
+#ifndef PKTBUF_SRAM_HEAD_SRAM_HH
+#define PKTBUF_SRAM_HEAD_SRAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pktbuf::sram
+{
+
+class HeadSram
+{
+  public:
+    /** @param capacity_cells 0 = unbounded (measurement mode). */
+    HeadSram(unsigned phys_queues, std::uint64_t capacity_cells)
+        : queues_(phys_queues), capacity_(capacity_cells)
+    {}
+
+    /**
+     * Insert a replenished block.  `seq` is the per-queue replenish
+     * sequence assigned when the MMA issued the request; blocks may
+     * arrive out of order but are consumed in sequence.
+     */
+    void
+    insertBlock(QueueId p, std::uint64_t seq,
+                const std::vector<Cell> &cells)
+    {
+        auto &qq = q(p);
+        panic_if(seq < qq.next_consume_seq,
+                 "replenish seq ", seq, " for queue ", p,
+                 " already consumed");
+        panic_if(qq.blocks.count(seq),
+                 "duplicate replenish seq ", seq, " on queue ", p);
+        panic_if(cells.empty(), "empty replenish block");
+        qq.blocks.emplace(seq, std::deque<Cell>(cells.begin(),
+                                                cells.end()));
+        occupancy_ += cells.size();
+        high_water_.observe(static_cast<std::int64_t>(occupancy_));
+        panic_if(capacity_ && occupancy_ > capacity_,
+                 "h-SRAM overflow: ", occupancy_, " cells > capacity ",
+                 capacity_, " -- dimensioning violated");
+    }
+
+    /**
+     * Pop the next in-order cell of queue p.  Panics (a *miss*) if
+     * the block holding it has not been refilled yet.
+     */
+    Cell
+    pop(QueueId p)
+    {
+        auto &qq = q(p);
+        auto it = qq.blocks.find(qq.next_consume_seq);
+        panic_if(it == qq.blocks.end(),
+                 "MISS: queue ", p, " has no cells for replenish seq ",
+                 qq.next_consume_seq,
+                 " in h-SRAM at grant time");
+        Cell c = it->second.front();
+        it->second.pop_front();
+        if (it->second.empty()) {
+            qq.blocks.erase(it);
+            ++qq.next_consume_seq;
+        }
+        panic_if(occupancy_ == 0, "occupancy accounting bug");
+        --occupancy_;
+        return c;
+    }
+
+    /** Would a pop on queue p miss right now? */
+    bool
+    wouldMiss(QueueId p) const
+    {
+        const auto &qq = q(p);
+        return !qq.blocks.count(qq.next_consume_seq);
+    }
+
+    /** Physical cells of queue p currently in the SRAM. */
+    std::uint64_t
+    cellsOf(QueueId p) const
+    {
+        const auto &qq = q(p);
+        std::uint64_t n = 0;
+        for (const auto &[s, blk] : qq.blocks)
+            n += blk.size();
+        return n;
+    }
+
+    std::uint64_t occupancy() const { return occupancy_; }
+    std::int64_t highWater() const { return high_water_.max(); }
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** Recycle a (drained) physical queue for renaming reuse. */
+    void
+    recycle(QueueId p)
+    {
+        auto &qq = q(p);
+        panic_if(!qq.blocks.empty(), "recycling queue ", p,
+                 " with cells still cached");
+        qq.next_consume_seq = 0;
+    }
+
+  private:
+    struct QueueState
+    {
+        std::map<std::uint64_t, std::deque<Cell>> blocks;
+        std::uint64_t next_consume_seq = 0;
+    };
+
+    const QueueState &
+    q(QueueId p) const
+    {
+        panic_if(p >= queues_.size(), "queue ", p, " out of range");
+        return queues_[p];
+    }
+
+    QueueState &
+    q(QueueId p)
+    {
+        panic_if(p >= queues_.size(), "queue ", p, " out of range");
+        return queues_[p];
+    }
+
+    std::vector<QueueState> queues_;
+    std::uint64_t capacity_;
+    std::uint64_t occupancy_ = 0;
+    HighWater high_water_;
+};
+
+} // namespace pktbuf::sram
+
+#endif // PKTBUF_SRAM_HEAD_SRAM_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Functional model of the tail SRAM (t-SRAM): the ingress cache.
+ * Arriving cells are appended per physical queue; the t-MMA claims
+ * batches of b cells for transfer to DRAM (claimed cells wait for the
+ * DSA to launch the write), and the head path may *bypass* unclaimed
+ * cells directly into the h-SRAM when the queue has nothing resident
+ * in DRAM.
+ */
+
+#ifndef PKTBUF_SRAM_TAIL_SRAM_HH
+#define PKTBUF_SRAM_TAIL_SRAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pktbuf::sram
+{
+
+class TailSram
+{
+  public:
+    /** @param capacity_cells 0 = unbounded (measurement mode). */
+    TailSram(unsigned phys_queues, std::uint64_t capacity_cells)
+        : queues_(phys_queues), capacity_(capacity_cells)
+    {}
+
+    /** Cell arrival from the line. */
+    void
+    push(QueueId p, const Cell &cell)
+    {
+        auto &qq = q(p);
+        qq.cells.push_back(cell);
+        ++occupancy_;
+        high_water_.observe(static_cast<std::int64_t>(occupancy_));
+        panic_if(capacity_ && occupancy_ > capacity_,
+                 "t-SRAM overflow: ", occupancy_, " cells > capacity ",
+                 capacity_, " -- dimensioning violated");
+    }
+
+    /** Cells of p not yet claimed by a pending DRAM write. */
+    std::uint64_t
+    unclaimed(QueueId p) const
+    {
+        const auto &qq = q(p);
+        return qq.cells.size() - qq.claimed;
+    }
+
+    /** Total cells of p still in the t-SRAM (claimed or not). */
+    std::uint64_t
+    cellsOf(QueueId p) const
+    {
+        return q(p).cells.size();
+    }
+
+    /**
+     * The t-MMA claims the oldest `gran` unclaimed cells of p for a
+     * DRAM write.  They stay in the SRAM (and keep occupying space)
+     * until extractClaimed() when the DSA launches the write.
+     */
+    void
+    claim(QueueId p, unsigned gran)
+    {
+        auto &qq = q(p);
+        panic_if(unclaimed(p) < gran, "claiming ", gran,
+                 " cells of queue ", p, " with only ", unclaimed(p),
+                 " unclaimed");
+        qq.claimed += gran;
+    }
+
+    /** Undo one pending claim (write squashed in favor of bypass). */
+    void
+    unclaim(QueueId p, unsigned gran)
+    {
+        auto &qq = q(p);
+        panic_if(qq.claimed < gran, "unclaim underflow on queue ", p);
+        qq.claimed -= gran;
+    }
+
+    /** Remove the oldest `gran` (claimed) cells: the write launches. */
+    std::vector<Cell>
+    extractClaimed(QueueId p, unsigned gran)
+    {
+        auto &qq = q(p);
+        panic_if(qq.claimed < gran, "extracting unclaimed cells");
+        std::vector<Cell> out = take(qq, gran);
+        qq.claimed -= gran;
+        return out;
+    }
+
+    /**
+     * Bypass up to `max_cells` *unclaimed* oldest cells straight to
+     * the head path.  Only legal when the queue has no cells in DRAM
+     * and no claimed cells ahead (the caller enforces order).
+     */
+    std::vector<Cell>
+    extractBypass(QueueId p, unsigned max_cells)
+    {
+        auto &qq = q(p);
+        panic_if(qq.claimed != 0,
+                 "bypass with ", qq.claimed,
+                 " claimed cells ahead on queue ", p);
+        const auto n = std::min<std::uint64_t>(max_cells,
+                                               qq.cells.size());
+        return take(qq, static_cast<unsigned>(n));
+    }
+
+    std::uint64_t occupancy() const { return occupancy_; }
+    std::int64_t highWater() const { return high_water_.max(); }
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** Recycle a drained physical queue (renaming reuse). */
+    void
+    recycle(QueueId p)
+    {
+        auto &qq = q(p);
+        panic_if(!qq.cells.empty() || qq.claimed != 0,
+                 "recycling non-empty tail queue ", p);
+    }
+
+  private:
+    struct QueueState
+    {
+        std::deque<Cell> cells;
+        std::uint64_t claimed = 0;
+    };
+
+    std::vector<Cell>
+    take(QueueState &qq, unsigned n)
+    {
+        std::vector<Cell> out;
+        out.reserve(n);
+        for (unsigned i = 0; i < n; ++i) {
+            panic_if(qq.cells.empty(), "t-SRAM underflow");
+            out.push_back(qq.cells.front());
+            qq.cells.pop_front();
+        }
+        panic_if(occupancy_ < n, "occupancy accounting bug");
+        occupancy_ -= n;
+        return out;
+    }
+
+    const QueueState &
+    q(QueueId p) const
+    {
+        panic_if(p >= queues_.size(), "queue ", p, " out of range");
+        return queues_[p];
+    }
+
+    QueueState &
+    q(QueueId p)
+    {
+        panic_if(p >= queues_.size(), "queue ", p, " out of range");
+        return queues_[p];
+    }
+
+    std::vector<QueueState> queues_;
+    std::uint64_t capacity_;
+    std::uint64_t occupancy_ = 0;
+    HighWater high_water_;
+};
+
+} // namespace pktbuf::sram
+
+#endif // PKTBUF_SRAM_TAIL_SRAM_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Property tests of the Figure-6 block-cyclic bank mapping: queue to
+ * group assignment, conflict-freedom of consecutive blocks within a
+ * group, and stability of the mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "dram/address_map.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::dram;
+
+TEST(AddressMap, GroupArithmetic)
+{
+    AddressMap m(256, 8);
+    EXPECT_EQ(m.banks(), 256u);
+    EXPECT_EQ(m.banksPerGroup(), 8u);
+    EXPECT_EQ(m.groups(), 32u);
+}
+
+TEST(AddressMap, RejectsNonDividingGroups)
+{
+    EXPECT_THROW(AddressMap(100, 8), PanicError);
+    EXPECT_THROW(AddressMap(16, 0), PanicError);
+}
+
+TEST(AddressMap, QueueStaysInItsGroup)
+{
+    AddressMap m(64, 4);
+    for (QueueId p = 0; p < 200; ++p) {
+        const unsigned g = m.groupOf(p);
+        EXPECT_EQ(g, p % 16);
+        for (std::uint64_t ord = 0; ord < 40; ++ord) {
+            const unsigned bank = m.bankOf(p, ord);
+            EXPECT_GE(bank, g * 4);
+            EXPECT_LT(bank, (g + 1) * 4);
+        }
+    }
+}
+
+TEST(AddressMap, ConsecutiveBlocksHitDistinctBanks)
+{
+    // The core conflict-freedom property: B/b consecutive blocks of
+    // one queue never share a bank.
+    AddressMap m(64, 8);
+    for (QueueId p = 0; p < 32; ++p) {
+        for (std::uint64_t start = 0; start < 24; ++start) {
+            std::set<unsigned> banks;
+            for (std::uint64_t k = 0; k < 8; ++k)
+                banks.insert(m.bankOf(p, start + k));
+            EXPECT_EQ(banks.size(), 8u)
+                << "queue " << p << " window at " << start;
+        }
+    }
+}
+
+TEST(AddressMap, BlockCyclicPeriod)
+{
+    AddressMap m(32, 4);
+    for (QueueId p = 0; p < 8; ++p) {
+        for (std::uint64_t ord = 0; ord < 64; ++ord) {
+            EXPECT_EQ(m.bankOf(p, ord), m.bankOf(p, ord + 4));
+        }
+    }
+}
+
+TEST(AddressMap, SingleBankDegenerate)
+{
+    // RADS view: one bank, one group.
+    AddressMap m(1, 1);
+    EXPECT_EQ(m.groups(), 1u);
+    EXPECT_EQ(m.groupOf(17), 0u);
+    EXPECT_EQ(m.bankOf(17, 12345), 0u);
+}
+
+TEST(AddressMap, QueuesOfDifferentGroupsNeverShareBanks)
+{
+    AddressMap m(64, 8);
+    for (QueueId a = 0; a < 16; ++a) {
+        for (QueueId b = 0; b < 16; ++b) {
+            if (m.groupOf(a) == m.groupOf(b))
+                continue;
+            for (std::uint64_t i = 0; i < 16; ++i) {
+                for (std::uint64_t j = 0; j < 16; ++j) {
+                    EXPECT_NE(m.bankOf(a, i), m.bankOf(b, j));
+                }
+            }
+        }
+    }
+}

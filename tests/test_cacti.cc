@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests of the cacti_lite technology model and the two SRAM buffer
+ * designs of Section 7.1: monotonicity in capacity, port penalties,
+ * the CAM-vs-linked-list ordering the paper relies on, and the
+ * calibration anchors reported in the evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "model/cacti_lite.hh"
+#include "model/sram_designs.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::model;
+
+TEST(CactiLite, DelayGrowsWithCapacity)
+{
+    double prev = 0.0;
+    for (std::uint64_t kb = 16; kb <= 8192; kb *= 2) {
+        const auto r = sramArray(kb * 1024 / 8, 64, 1);
+        EXPECT_GT(r.accessNs, prev) << kb << " KiB";
+        prev = r.accessNs;
+    }
+}
+
+TEST(CactiLite, AreaGrowsLinearlyWithCapacity)
+{
+    const auto a = sramArray(1 << 14, 64, 1);
+    const auto b = sramArray(1 << 17, 64, 1);
+    EXPECT_NEAR(b.areaMm2 / a.areaMm2, 8.0, 2.5);
+}
+
+TEST(CactiLite, ExtraPortsCostAreaAndTime)
+{
+    const auto one = sramArray(1 << 15, 64, 1);
+    const auto two = sramArray(1 << 15, 64, 2);
+    EXPECT_GT(two.areaMm2, one.areaMm2 * 1.3);
+    EXPECT_GT(two.accessNs, one.accessNs);
+}
+
+TEST(CactiLite, CamSlowerAndBiggerThanSramSameCapacity)
+{
+    const std::uint64_t entries = 1 << 13;
+    const auto ram = sramArray(entries, 512, 1);
+    const auto cam = camArray(entries, 24, 512, 1);
+    EXPECT_GT(cam.accessNs, ram.accessNs);
+    EXPECT_GT(cam.areaMm2, ram.areaMm2);
+}
+
+TEST(CactiLite, RejectsDegenerateArrays)
+{
+    EXPECT_THROW(sramArray(0, 64, 1), PanicError);
+    EXPECT_THROW(sramArray(64, 0, 1), PanicError);
+    EXPECT_THROW(sramArray(64, 64, 0), PanicError);
+    EXPECT_THROW(camArray(0, 16, 64, 1), PanicError);
+}
+
+TEST(SramDesigns, CamIsFasterPerSlotButBigger)
+{
+    // The paper's trade-off: global CAM = shortest effective access
+    // (dual-ported, no time multiplexing); unified linked list =
+    // smallest area but 3 serialized accesses per slot.
+    for (std::uint64_t cells : {1024ull, 8192ull, 65536ull}) {
+        const auto cam = sizeSramBuffer(SramDesign::GlobalCam, cells,
+                                        128, 128);
+        const auto ll = sizeSramBuffer(SramDesign::LinkedListTimeMux,
+                                       cells, 128, 128);
+        EXPECT_LT(cam.effectiveNs, ll.effectiveNs) << cells;
+        EXPECT_GT(cam.areaMm2, ll.areaMm2) << cells;
+        EXPECT_DOUBLE_EQ(ll.effectiveNs, 3.0 * ll.rawAccessNs);
+        EXPECT_DOUBLE_EQ(cam.effectiveNs, cam.rawAccessNs);
+    }
+}
+
+TEST(SramDesigns, Oc768RadsMeetsSlotTime)
+{
+    // Section 7.2: at OC-768 both designs are far quicker than the
+    // 12.8 ns slot, even at the shortest lookahead (300 KB).
+    const std::uint64_t cells = 300 * 1024 / 64;
+    const auto cam = sizeSramBuffer(SramDesign::GlobalCam, cells, 128,
+                                    128);
+    const auto ll = sizeSramBuffer(SramDesign::LinkedListTimeMux,
+                                   cells, 128, 128);
+    EXPECT_LT(cam.effectiveNs, 12.8);
+    EXPECT_LT(ll.effectiveNs, 12.8);
+    // ... and the small-area design costs ~0.1 cm^2.
+    EXPECT_LT(ll.areaMm2 / 100.0, 0.25);
+}
+
+TEST(SramDesigns, Oc3072RadsFailsSlotTime)
+{
+    // Section 7.2: no RADS implementation meets 3.2 ns, even at the
+    // longest lookahead (1.0 MB h-SRAM).
+    const std::uint64_t cells = ecqfSramCells(512, 32);
+    const auto best = bestSramBuffer(cells, 512, 512);
+    EXPECT_GT(best.effectiveNs, 3.2);
+}
+
+TEST(SramDesigns, Oc3072CfdsMeetsSlotTime)
+{
+    // Section 8.3: a CFDS system with b = 4 meets 3.2 ns.
+    BufferParams p{512, 32, 4, 256};
+    const auto spec =
+        headSramSpec(p, ecqfLookaheadSlots(p.queues, p.gran));
+    const auto best =
+        bestSramBuffer(spec.cells, spec.lists, p.queues);
+    EXPECT_LE(best.effectiveNs, 3.2)
+        << "CFDS b=4 h-SRAM of " << spec.cells << " cells measures "
+        << best.effectiveNs << " ns";
+}
+
+TEST(SramDesigns, HeadSramSpecListsScaleWithBanking)
+{
+    // Section 8.2: the CFDS linked-list design needs Q * B/b lists.
+    BufferParams p{512, 32, 4, 256};
+    const auto spec = headSramSpec(p, 100);
+    EXPECT_EQ(spec.lists, 512u * 8);
+    BufferParams rads{512, 32, 32, 1};
+    EXPECT_EQ(headSramSpec(rads, 100).lists, 512u);
+}
+
+TEST(SramDesigns, MaxQueuesCfdsBeatsRads)
+{
+    // Figure 11: CFDS supports several times more queues at OC-3072.
+    const unsigned rads =
+        maxQueuesMeetingSlot(32, 32, 1, LineRate::OC3072);
+    const unsigned cfds4 =
+        maxQueuesMeetingSlot(32, 4, 256, LineRate::OC3072);
+    EXPECT_GT(cfds4, 3 * rads);
+    EXPECT_GT(cfds4, 500u);
+}
+
+TEST(SramDesigns, MaxQueuesHasInteriorOptimum)
+{
+    // Figure 11 / Section 8.3: there is an optimal b strictly inside
+    // (1, B): too-small b pays reordering SRAM, too-large b pays
+    // granularity SRAM.
+    unsigned best_b = 0, best_q = 0;
+    unsigned q1 = 0, q32 = 0;
+    for (unsigned b : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        const unsigned mq = maxQueuesMeetingSlot(
+            32, b, b == 32 ? 1 : 256, LineRate::OC3072);
+        if (b == 1)
+            q1 = mq;
+        if (b == 32)
+            q32 = mq;
+        if (mq > best_q) {
+            best_q = mq;
+            best_b = b;
+        }
+    }
+    EXPECT_GT(best_b, 1u);
+    EXPECT_LT(best_b, 32u);
+    EXPECT_GT(best_q, q1);
+    EXPECT_GT(best_q, q32);
+}

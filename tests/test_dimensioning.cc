@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the closed-form dimensioning (Section 3 / 5 / 8):
+ * exact reproduction of Table 2, endpoint checks of the RADS SRAM
+ * trade-off, and sanity of the latency/ORR formulas.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "model/dimensioning.hh"
+#include "model/issue_queue.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::model;
+
+namespace
+{
+
+BufferParams
+oc3072(unsigned b)
+{
+    return BufferParams{512, 32, b, 256};
+}
+
+BufferParams
+oc768(unsigned b)
+{
+    return BufferParams{128, 8, b, 256};
+}
+
+} // namespace
+
+TEST(Dimensioning, Table2Oc3072RrSizes)
+{
+    // Paper Table 2, OC-3072 row: b = 32,16,8,4,2,1.
+    EXPECT_EQ(rrSize(oc3072(32)), 0u);
+    EXPECT_EQ(rrSize(oc3072(16)), 8u);
+    EXPECT_EQ(rrSize(oc3072(8)), 64u);
+    EXPECT_EQ(rrSize(oc3072(4)), 256u);
+    EXPECT_EQ(rrSize(oc3072(2)), 1024u);
+    EXPECT_EQ(rrSize(oc3072(1)), 4096u);
+}
+
+TEST(Dimensioning, Table2Oc768RrSizes)
+{
+    // Paper Table 2, OC-768 row: b = 8,4,2,1.
+    EXPECT_EQ(rrSize(oc768(8)), 0u);
+    EXPECT_EQ(rrSize(oc768(4)), 2u);
+    EXPECT_EQ(rrSize(oc768(2)), 16u);
+    EXPECT_EQ(rrSize(oc768(1)), 64u);
+}
+
+TEST(Dimensioning, Table2SchedBudgets)
+{
+    // "Sched. time" rows: b * slot time.
+    EXPECT_DOUBLE_EQ(schedBudgetNs(oc3072(16), LineRate::OC3072),
+                     51.2);
+    EXPECT_DOUBLE_EQ(schedBudgetNs(oc3072(8), LineRate::OC3072),
+                     25.6);
+    EXPECT_DOUBLE_EQ(schedBudgetNs(oc3072(4), LineRate::OC3072),
+                     12.8);
+    EXPECT_DOUBLE_EQ(schedBudgetNs(oc3072(2), LineRate::OC3072), 6.4);
+    EXPECT_DOUBLE_EQ(schedBudgetNs(oc3072(1), LineRate::OC3072), 3.2);
+    EXPECT_DOUBLE_EQ(schedBudgetNs(oc768(4), LineRate::OC768), 51.2);
+    EXPECT_DOUBLE_EQ(schedBudgetNs(oc768(2), LineRate::OC768), 25.6);
+    EXPECT_DOUBLE_EQ(schedBudgetNs(oc768(1), LineRate::OC768), 12.8);
+}
+
+TEST(Dimensioning, SchedFeasibilityMatchesPaperNarrative)
+{
+    // Section 8.1: OC-768 "fairly trivial" even at b = 1.
+    EXPECT_EQ(classifySched(rrSize(oc768(1)),
+                            schedBudgetNs(oc768(1), LineRate::OC768)),
+              SchedFeasibility::Trivial);
+    // OC-3072: attainable for b > 2 ...
+    EXPECT_LE(rrSchedTimeNs(rrSize(oc3072(4))),
+              schedBudgetNs(oc3072(4), LineRate::OC3072));
+    // ... possible-yet-aggressive for b = 2 ...
+    const auto f2 = classifySched(
+        rrSize(oc3072(2)), schedBudgetNs(oc3072(2), LineRate::OC3072));
+    EXPECT_TRUE(f2 == SchedFeasibility::Aggressive ||
+                f2 == SchedFeasibility::Attainable);
+    // ... and of difficult viability for b = 1.
+    EXPECT_EQ(classifySched(rrSize(oc3072(1)),
+                            schedBudgetNs(oc3072(1),
+                                          LineRate::OC3072)),
+              SchedFeasibility::Difficult);
+}
+
+TEST(Dimensioning, EcqfEndpoints)
+{
+    // [13]: lookahead Q(b-1)+1, SRAM Q(b-1).
+    EXPECT_EQ(ecqfLookaheadSlots(512, 32), 512u * 31 + 1);
+    EXPECT_EQ(ecqfSramCells(512, 32), 512u * 31);
+    EXPECT_EQ(ecqfSramCells(128, 8), 128u * 7);
+    // OC-3072 minimum h-SRAM ~ 1.0 MB (Section 7.2).
+    const double mb =
+        ecqfSramCells(512, 32) * 64.0 / (1024 * 1024);
+    EXPECT_NEAR(mb, 1.0, 0.05);
+}
+
+TEST(Dimensioning, MdqfLargerThanEcqf)
+{
+    for (unsigned q : {16u, 128u, 512u}) {
+        for (unsigned b : {2u, 8u, 32u}) {
+            EXPECT_GT(mdqfSramCells(q, b), ecqfSramCells(q, b))
+                << "Q=" << q << " b=" << b;
+        }
+    }
+}
+
+TEST(Dimensioning, RadsSramInterpolationEndpointsAndMonotonicity)
+{
+    const unsigned q = 512, b = 32;
+    const auto lmax = ecqfLookaheadSlots(q, b);
+    EXPECT_EQ(radsSramCells(lmax, q, b), ecqfSramCells(q, b));
+    EXPECT_EQ(radsSramCells(lmax + 1000, q, b), ecqfSramCells(q, b));
+    EXPECT_EQ(radsSramCells(1, q, b), mdqfSramCells(q, b));
+    std::uint64_t prev = radsSramCells(1, q, b);
+    for (std::uint64_t l = 2; l <= lmax; l = l * 2) {
+        const auto s = radsSramCells(l, q, b);
+        EXPECT_LE(s, prev) << "lookahead " << l;
+        prev = s;
+    }
+}
+
+TEST(Dimensioning, GranularityOneNeedsNoHeadSram)
+{
+    EXPECT_EQ(ecqfSramCells(512, 1), 0u);
+    EXPECT_EQ(radsSramCells(1, 512, 1), 0u);
+}
+
+TEST(Dimensioning, OrrSizeIsBanksPerGroupMinusOne)
+{
+    EXPECT_EQ(orrSize(oc3072(32)), 0u);
+    EXPECT_EQ(orrSize(oc3072(4)), 7u);
+    EXPECT_EQ(orrSize(oc3072(1)), 31u);
+}
+
+TEST(Dimensioning, LatencyGrowsAsGranularityShrinks)
+{
+    std::uint64_t prev = 0;
+    for (unsigned b : {32u, 16u, 8u, 4u, 2u, 1u}) {
+        const auto lat = latencySlots(oc3072(b));
+        if (b != 32) {
+            EXPECT_GT(lat, prev) << "b=" << b;
+        }
+        prev = lat;
+    }
+    // RADS (b == B): only the DRAM access itself.
+    EXPECT_EQ(latencySlots(oc3072(32)), 32u);
+}
+
+TEST(Dimensioning, CfdsSramSmallerThanRadsForModerateB)
+{
+    // The whole point (Section 8.3): at the optimal b the total
+    // SRAM shrinks by roughly an order of magnitude.
+    const auto p4 = oc3072(4);
+    const auto rads_cells =
+        radsSramCells(ecqfLookaheadSlots(512, 32), 512, 32);
+    const auto cfds_cells =
+        cfdsSramCells(ecqfLookaheadSlots(512, 4), p4);
+    EXPECT_LT(cfds_cells * 2, rads_cells);
+}
+
+TEST(Dimensioning, GroupArithmetic)
+{
+    const auto p = oc3072(4);
+    EXPECT_EQ(p.banksPerGroup(), 8u);
+    EXPECT_EQ(p.groups(), 32u);
+    EXPECT_EQ(p.queuesPerGroup(), 16u);
+    EXPECT_FALSE(p.isRads());
+    EXPECT_TRUE(oc3072(32).isRads());
+}
+
+TEST(Dimensioning, ValidationRejectsBadConfigs)
+{
+    auto check = [](unsigned q, unsigned B, unsigned b, unsigned m) {
+        BufferParams p{q, B, b, m};
+        p.validate();
+    };
+    EXPECT_THROW(check(512, 32, 3, 256), FatalError);
+    EXPECT_THROW(check(512, 32, 64, 256), FatalError);
+    EXPECT_THROW(check(0, 32, 4, 256), FatalError);
+    EXPECT_THROW(check(512, 32, 4, 0), FatalError);
+    // M must be a multiple of B/b.
+    EXPECT_THROW(check(512, 32, 4, 100), FatalError);
+    EXPECT_NO_THROW(check(512, 32, 4, 256));
+}
+
+TEST(Dimensioning, TailSramFormula)
+{
+    EXPECT_EQ(tailSramCells(128, 8), 128u * 7 + 1);
+    EXPECT_EQ(tailSramCells(512, 1), 1u);
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the DRAM substrate: bank timing (conflict panics),
+ * ordinal-keyed block storage, and group occupancy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "dram/bank_state.hh"
+#include "dram/dram_store.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::dram;
+
+namespace
+{
+
+std::vector<Cell>
+block(QueueId q, SeqNum first, unsigned n)
+{
+    std::vector<Cell> cells;
+    for (unsigned i = 0; i < n; ++i)
+        cells.push_back(Cell{q, first + i, 0});
+    return cells;
+}
+
+} // namespace
+
+TEST(BankState, BusyWindowIsExactlyAccessTime)
+{
+    BankState b(4, 10);
+    EXPECT_FALSE(b.busy(0, 0));
+    EXPECT_EQ(b.startAccess(0, 5), 15u);
+    EXPECT_TRUE(b.busy(0, 5));
+    EXPECT_TRUE(b.busy(0, 14));
+    EXPECT_FALSE(b.busy(0, 15));
+    EXPECT_FALSE(b.busy(1, 5));
+}
+
+TEST(BankState, ConflictPanics)
+{
+    BankState b(2, 8);
+    b.startAccess(1, 0);
+    EXPECT_THROW(b.startAccess(1, 3), PanicError);
+    EXPECT_NO_THROW(b.startAccess(0, 3));
+    EXPECT_NO_THROW(b.startAccess(1, 8));
+}
+
+TEST(BankState, InFlightCount)
+{
+    BankState b(8, 16);
+    b.startAccess(0, 0);
+    b.startAccess(3, 4);
+    EXPECT_EQ(b.inFlight(5), 2u);
+    EXPECT_EQ(b.inFlight(16), 1u); // bank 0 done
+    EXPECT_EQ(b.inFlight(20), 0u);
+    EXPECT_EQ(b.accesses(), 2u);
+}
+
+TEST(BankState, RejectsBadArguments)
+{
+    EXPECT_THROW(BankState(0, 4), PanicError);
+    EXPECT_THROW(BankState(4, 0), PanicError);
+    BankState b(2, 4);
+    EXPECT_THROW(b.busy(5, 0), PanicError);
+}
+
+TEST(DramStore, WriteReadRoundTrip)
+{
+    DramStore d(4, 4, 2, 0);
+    d.writeBlock(0, 0, block(0, 0, 4), 0);
+    d.writeBlock(0, 1, block(0, 4, 4), 0);
+    EXPECT_TRUE(d.hasBlock(0, 0));
+    EXPECT_TRUE(d.hasBlock(0, 1));
+    EXPECT_FALSE(d.hasBlock(0, 2));
+    EXPECT_EQ(d.residentBlocks(0), 2u);
+
+    const auto cells = d.readBlock(0, 0, 0);
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_EQ(cells[0].seq, 0u);
+    EXPECT_EQ(cells[3].seq, 3u);
+    EXPECT_FALSE(d.hasBlock(0, 0));
+    EXPECT_EQ(d.residentBlocks(0), 1u);
+}
+
+TEST(DramStore, OutOfOrderOrdinalsSupported)
+{
+    // The DSA may launch block k+1's write before block k's.
+    DramStore d(2, 2, 1, 0);
+    d.writeBlock(1, 5, block(1, 10, 2), 0);
+    d.writeBlock(1, 4, block(1, 8, 2), 0);
+    EXPECT_EQ(d.readBlock(1, 4, 0)[0].seq, 8u);
+    EXPECT_EQ(d.readBlock(1, 5, 0)[0].seq, 10u);
+}
+
+TEST(DramStore, WrongSizeBlockPanics)
+{
+    DramStore d(2, 4, 1, 0);
+    EXPECT_THROW(d.writeBlock(0, 0, block(0, 0, 3), 0), PanicError);
+}
+
+TEST(DramStore, DuplicateOrdinalPanics)
+{
+    DramStore d(2, 2, 1, 0);
+    d.writeBlock(0, 7, block(0, 0, 2), 0);
+    EXPECT_THROW(d.writeBlock(0, 7, block(0, 2, 2), 0), PanicError);
+}
+
+TEST(DramStore, AbsentBlockReadPanics)
+{
+    DramStore d(2, 2, 1, 0);
+    EXPECT_THROW(d.readBlock(0, 0, 0), PanicError);
+}
+
+TEST(DramStore, GroupAccounting)
+{
+    DramStore d(4, 2, 2, 8);
+    d.writeBlock(0, 0, block(0, 0, 2), 0); // group 0
+    d.writeBlock(1, 0, block(1, 0, 2), 1); // group 1
+    d.writeBlock(2, 0, block(2, 0, 2), 0);
+    EXPECT_EQ(d.groupCells(0), 4u);
+    EXPECT_EQ(d.groupCells(1), 2u);
+    EXPECT_EQ(d.totalCells(), 6u);
+    d.readBlock(0, 0, 0);
+    EXPECT_EQ(d.groupCells(0), 2u);
+}
+
+TEST(DramStore, GroupOverflowPanics)
+{
+    DramStore d(4, 2, 1, 4);
+    d.writeBlock(0, 0, block(0, 0, 2), 0);
+    d.writeBlock(0, 1, block(0, 2, 2), 0);
+    EXPECT_THROW(d.writeBlock(0, 2, block(0, 4, 2), 0), PanicError);
+}
+
+TEST(DramStore, RecycleRequiresEmpty)
+{
+    DramStore d(2, 2, 1, 0);
+    d.writeBlock(0, 0, block(0, 0, 2), 0);
+    EXPECT_THROW(d.recycle(0), PanicError);
+    d.readBlock(0, 0, 0);
+    EXPECT_NO_THROW(d.recycle(0));
+}

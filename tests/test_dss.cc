@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests of the DRAM Scheduler Subsystem: RR age order, skip
+ * accounting (Eq. 2's measured counterpart), per-queue write order,
+ * cancellation, ORR locking, and the full DSA conflict-freedom loop
+ * against a bank-state oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "dram/address_map.hh"
+#include "dram/bank_state.hh"
+#include "dss/dram_scheduler.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::dss;
+
+namespace
+{
+
+DramRequest
+makeRead(QueueId q, std::uint64_t ord, unsigned bank, Slot issued = 0)
+{
+    DramRequest r;
+    r.kind = DramRequest::Kind::Read;
+    r.physQueue = q;
+    r.blockOrdinal = ord;
+    r.bank = bank;
+    r.issued = issued;
+    return r;
+}
+
+DramRequest
+makeWrite(QueueId q, std::uint64_t ord, unsigned bank, Slot issued = 0)
+{
+    auto r = makeRead(q, ord, bank, issued);
+    r.kind = DramRequest::Kind::Write;
+    return r;
+}
+
+} // namespace
+
+TEST(RequestRegister, OldestReadyFirst)
+{
+    RequestRegister rr(8);
+    rr.push(makeRead(0, 0, 5));
+    rr.push(makeRead(1, 0, 6));
+    rr.push(makeRead(2, 0, 7));
+    auto sel = rr.selectOldestReady([](unsigned) { return false; });
+    ASSERT_TRUE(sel);
+    EXPECT_EQ(sel->physQueue, 0u);
+    EXPECT_EQ(rr.size(), 2u);
+}
+
+TEST(RequestRegister, SkipsLockedBanksAndCountsSkips)
+{
+    RequestRegister rr(8);
+    rr.push(makeRead(0, 0, 5));
+    rr.push(makeRead(1, 0, 6));
+    auto sel = rr.selectOldestReady(
+        [](unsigned bank) { return bank == 5; });
+    ASSERT_TRUE(sel);
+    EXPECT_EQ(sel->physQueue, 1u);
+    EXPECT_EQ(rr.maxSkips(), 1);
+    // The skipped entry keeps its age: next call picks it.
+    sel = rr.selectOldestReady([](unsigned) { return false; });
+    ASSERT_TRUE(sel);
+    EXPECT_EQ(sel->physQueue, 0u);
+}
+
+TEST(RequestRegister, AllLockedReturnsNothing)
+{
+    RequestRegister rr(4);
+    rr.push(makeRead(0, 0, 1));
+    rr.push(makeRead(1, 0, 2));
+    EXPECT_FALSE(rr.selectOldestReady([](unsigned) { return true; }));
+    EXPECT_EQ(rr.size(), 2u);
+}
+
+TEST(RequestRegister, CapacityOverflowPanics)
+{
+    RequestRegister rr(2);
+    rr.push(makeRead(0, 0, 0));
+    rr.push(makeRead(1, 0, 1));
+    EXPECT_THROW(rr.push(makeRead(2, 0, 2)), PanicError);
+}
+
+TEST(RequestRegister, UnboundedWhenCapacityZero)
+{
+    RequestRegister rr(0);
+    for (unsigned i = 0; i < 100; ++i)
+        rr.push(makeRead(i, 0, i % 7));
+    EXPECT_EQ(rr.size(), 100u);
+    EXPECT_EQ(rr.highWater(), 100);
+}
+
+TEST(RequestRegister, PerQueueOrderEnforcedForWrites)
+{
+    RequestRegister rr(8, /*in_order_per_queue=*/true);
+    rr.push(makeWrite(3, 0, 1)); // bank 1 locked
+    rr.push(makeWrite(3, 1, 2)); // same queue, free bank
+    rr.push(makeWrite(4, 0, 3)); // other queue, free bank
+    auto sel = rr.selectOldestReady(
+        [](unsigned bank) { return bank == 1; });
+    // Queue 3's younger write must NOT overtake its older one, but
+    // queue 4 may proceed.
+    ASSERT_TRUE(sel);
+    EXPECT_EQ(sel->physQueue, 4u);
+}
+
+TEST(RequestRegister, CancelRemovesOldestMatch)
+{
+    RequestRegister rr(8);
+    rr.push(makeWrite(5, 0, 1));
+    rr.push(makeWrite(6, 0, 2));
+    rr.push(makeWrite(5, 1, 3));
+    auto c = rr.cancel([](const DramRequest &r) {
+        return r.physQueue == 5;
+    });
+    ASSERT_TRUE(c);
+    EXPECT_EQ(c->blockOrdinal, 0u);
+    EXPECT_EQ(rr.size(), 2u);
+    c = rr.cancel([](const DramRequest &r) {
+        return r.physQueue == 5;
+    });
+    ASSERT_TRUE(c);
+    EXPECT_EQ(c->blockOrdinal, 1u);
+    EXPECT_FALSE(rr.cancel([](const DramRequest &r) {
+        return r.physQueue == 5;
+    }));
+}
+
+TEST(OngoingRequests, LockWindowMatchesAccessTime)
+{
+    OngoingRequests orr(8);
+    orr.add(3, 10);
+    EXPECT_TRUE(orr.locked(3, 10));
+    EXPECT_TRUE(orr.locked(3, 17));
+    EXPECT_FALSE(orr.locked(3, 18));
+    EXPECT_FALSE(orr.locked(4, 12));
+}
+
+TEST(OngoingRequests, DoubleLockPanics)
+{
+    OngoingRequests orr(8);
+    orr.add(1, 0);
+    EXPECT_THROW(orr.add(1, 4), PanicError);
+    EXPECT_NO_THROW(orr.add(1, 8));
+}
+
+TEST(OngoingRequests, SizeTracksInFlight)
+{
+    OngoingRequests orr(4);
+    orr.add(0, 0);
+    orr.add(1, 1);
+    orr.add(2, 2);
+    EXPECT_EQ(orr.size(2), 3u);
+    EXPECT_EQ(orr.size(4), 2u); // bank 0 done at slot 4
+    EXPECT_EQ(orr.highWater(), 3);
+}
+
+TEST(DramScheduler, LaunchLocksBank)
+{
+    OngoingRequests orr(8);
+    DramScheduler sched(16, orr);
+    sched.push(makeRead(0, 0, 3, 0));
+    sched.push(makeRead(1, 0, 3, 0)); // same bank
+    auto first = sched.tryLaunch(0);
+    ASSERT_TRUE(first);
+    EXPECT_EQ(first->physQueue, 0u);
+    // Second request to the same bank must wait out the access.
+    EXPECT_FALSE(sched.tryLaunch(2));
+    EXPECT_EQ(sched.stalls(), 1u);
+    auto second = sched.tryLaunch(8);
+    ASSERT_TRUE(second);
+    EXPECT_EQ(second->physQueue, 1u);
+    EXPECT_EQ(sched.launches(), 2u);
+}
+
+TEST(DramScheduler, QueueDelayStatistics)
+{
+    OngoingRequests orr(4);
+    DramScheduler sched(16, orr);
+    sched.push(makeRead(0, 0, 0, 0));
+    sched.tryLaunch(6);
+    EXPECT_DOUBLE_EQ(sched.queueDelay().mean(), 6.0);
+}
+
+TEST(DramScheduler, RandomizedConflictFreedomAgainstOracle)
+{
+    // Property: whatever request stream arrives, every launch the
+    // DSA makes is conflict-free per the BankState oracle, and
+    // block-cyclic requests of one queue never stall the scheduler
+    // for more than B/b consecutive opportunities.
+    const unsigned banks = 16, bpg = 4, B = 8, b = 2;
+    dram::AddressMap map(banks, bpg);
+    dram::BankState oracle(banks, B);
+    OngoingRequests orr(B);
+    DramScheduler sched(0, orr);
+    Rng rng(77);
+    std::vector<std::uint64_t> ord(8, 0);
+
+    Slot now = 0;
+    for (int step = 0; step < 4000; ++step) {
+        now += b;
+        if (rng.chance(0.8)) {
+            const QueueId q = static_cast<QueueId>(rng.below(8));
+            sched.push(makeRead(q, ord[q], map.bankOf(q, ord[q]), now));
+            ++ord[q];
+        }
+        if (auto r = sched.tryLaunch(now)) {
+            // Panics on conflict; the test fails via the exception.
+            oracle.startAccess(r->bank, now);
+        }
+    }
+    EXPECT_GT(sched.launches(), 1000u);
+}

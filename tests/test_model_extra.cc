@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Parameterized property sweeps over the analytical models:
+ * monotonicity and consistency of the dimensioning formulas across
+ * the whole (Q, B, b, M) design space, issue-queue model anchors,
+ * and cacti_lite structural properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "model/cacti_lite.hh"
+#include "model/dimensioning.hh"
+#include "model/issue_queue.hh"
+#include "model/sram_designs.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::model;
+
+namespace
+{
+
+using DimPoint = std::tuple<unsigned, unsigned, unsigned>; // Q, B, b
+
+class DimensioningSweep : public ::testing::TestWithParam<DimPoint>
+{
+  protected:
+    BufferParams
+    params() const
+    {
+        const auto [q, B, b] = GetParam();
+        return BufferParams{q, B, b, 256};
+    }
+
+    bool
+    valid() const
+    {
+        const auto [q, B, b] = GetParam();
+        return b <= B && B % b == 0 && 256 % (B / b) == 0;
+    }
+};
+
+std::string
+dimName(const ::testing::TestParamInfo<DimPoint> &info)
+{
+    return "Q" + std::to_string(std::get<0>(info.param)) + "_B" +
+           std::to_string(std::get<1>(info.param)) + "_b" +
+           std::to_string(std::get<2>(info.param));
+}
+
+} // namespace
+
+TEST_P(DimensioningSweep, FormulasAreConsistent)
+{
+    if (!valid())
+        GTEST_SKIP();
+    const auto p = params();
+    const auto [q, B, b] = GetParam();
+
+    // Lookahead and SRAM endpoints.
+    EXPECT_EQ(ecqfLookaheadSlots(q, b),
+              static_cast<std::uint64_t>(q) * (b - 1) + 1);
+    EXPECT_EQ(ecqfSramCells(q, b) + q * 0,
+              static_cast<std::uint64_t>(q) * (b - 1));
+    if (b > 1) {
+        EXPECT_GT(mdqfSramCells(q, b), ecqfSramCells(q, b));
+    }
+
+    // CFDS sizing: latency covers at least the DRAM access; the
+    // total SRAM grows with the reorder window.
+    EXPECT_GE(latencySlots(p), static_cast<std::uint64_t>(B));
+    EXPECT_GE(cfdsSramCells(ecqfLookaheadSlots(q, b), p),
+              ecqfSramCells(q, b));
+
+    // RR and skip bounds vanish exactly when banking is trivial.
+    if (p.banksPerGroup() <= 1) {
+        EXPECT_EQ(rrSize(p), 0u);
+        EXPECT_EQ(dsaMaxSkips(p), 0u);
+    } else {
+        EXPECT_GT(rrSize(p), 0u);
+        EXPECT_GT(dsaMaxSkips(p), 0u);
+        EXPECT_GE(rrSize(p), dsaMaxSkips(p) / p.banksPerGroup());
+    }
+
+    // ORR always B/b - 1.
+    EXPECT_EQ(orrSize(p), p.banksPerGroup() - 1);
+}
+
+TEST_P(DimensioningSweep, SramShrinksWithGranularity)
+{
+    if (!valid())
+        GTEST_SKIP();
+    const auto [q, B, b] = GetParam();
+    if (b >= B)
+        GTEST_SKIP();
+    // The CFDS *MMA-side* SRAM need is strictly below the RADS one.
+    EXPECT_LT(ecqfSramCells(q, b), ecqfSramCells(q, B));
+    // And the lookahead (hence the delay floor) shrinks too.
+    EXPECT_LT(ecqfLookaheadSlots(q, b), ecqfLookaheadSlots(q, B));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DimensioningSweep,
+    ::testing::Combine(::testing::Values(8u, 64u, 512u, 1024u),
+                       ::testing::Values(8u, 16u, 32u),
+                       ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u)),
+    dimName);
+
+TEST(IssueQueueModel, Alpha21264Anchor)
+{
+    // The model is deliberately conservative: the select tree is
+    // treated as wire-limited, so a 20-entry queue costs ~1 ns even
+    // at 0.13 um (the 21264 managed that at 0.35 um [14]).  The
+    // area anchor scales with feature size squared.
+    EXPECT_NEAR(rrSchedTimeNs(20, 0.13), 1.0, 0.3);
+    EXPECT_GE(rrSchedTimeNs(20, 0.35), rrSchedTimeNs(20, 0.13));
+    EXPECT_NEAR(rrSchedAreaCm2(20, 0.35), 0.05, 0.01);
+}
+
+TEST(IssueQueueModel, MonotoneInSize)
+{
+    double prev = 0.0;
+    for (std::uint64_t n : {8u, 32u, 128u, 512u, 2048u}) {
+        const double t = rrSchedTimeNs(n);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(IssueQueueModel, FeasibilityOrdering)
+{
+    // With a fixed budget, larger registers can only get worse.
+    const double budget = 6.4;
+    int prev = -1;
+    for (std::uint64_t n : {8u, 64u, 512u, 4096u}) {
+        const int f = static_cast<int>(classifySched(n, budget));
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+}
+
+TEST(CactiStructure, SubArrayingHelpsLargeArrays)
+{
+    // The organization search must choose more than one sub-array
+    // for megabyte-class memories.
+    const auto big = sramArray(1 << 17, 512, 1);
+    EXPECT_GT(big.subarrays, 1u);
+}
+
+TEST(CactiStructure, WiderEntriesCostWordline)
+{
+    const auto narrow = sramArray(1 << 12, 64, 1);
+    const auto wide = sramArray(1 << 12, 1024, 1);
+    EXPECT_GT(wide.areaMm2, narrow.areaMm2 * 8);
+    EXPECT_GT(wide.accessNs, narrow.accessNs);
+}
+
+TEST(CactiStructure, TechnologyScalingKnobs)
+{
+    TechParams slow;
+    slow.wireNsPerMm *= 2.0;
+    const auto base = sramArray(1 << 15, 512, 1);
+    const auto slower = sramArray(1 << 15, 512, 1, slow);
+    EXPECT_GT(slower.accessNs, base.accessNs);
+    // The organization search may split differently, but storage
+    // area is technology-bound, not wire-bound.
+    EXPECT_NEAR(slower.areaMm2 / base.areaMm2, 1.0, 0.15);
+
+    TechParams dense;
+    dense.sramCellUm2 /= 2.0;
+    const auto denser = sramArray(1 << 15, 512, 1, dense);
+    EXPECT_LT(denser.areaMm2, base.areaMm2);
+}
+
+TEST(SramDesignsExtra, BytesAccountTagsAndPointers)
+{
+    const auto cam =
+        sizeSramBuffer(SramDesign::GlobalCam, 1024, 64, 64);
+    const auto ll =
+        sizeSramBuffer(SramDesign::LinkedListTimeMux, 1024, 64, 64);
+    // Both carry overhead beyond the raw 64 KiB of cells.
+    EXPECT_GT(cam.bytes, 1024u * 64);
+    EXPECT_GT(ll.bytes, 1024u * 64);
+    // CAM tags cost more than linked-list pointers at this size.
+    EXPECT_GT(cam.bytes, ll.bytes - 64 * 2);
+}
+
+TEST(SramDesignsExtra, BestPicksTheFasterDesign)
+{
+    for (std::uint64_t cells : {512ull, 4096ull, 32768ull}) {
+        const auto best = bestSramBuffer(cells, 64, 64);
+        const auto cam =
+            sizeSramBuffer(SramDesign::GlobalCam, cells, 64, 64);
+        const auto ll = sizeSramBuffer(SramDesign::LinkedListTimeMux,
+                                       cells, 64, 64);
+        EXPECT_DOUBLE_EQ(best.effectiveNs,
+                         std::min(cam.effectiveNs, ll.effectiveNs));
+    }
+}
+
+TEST(SramDesignsExtra, MaxQueuesMonotoneInSlotTime)
+{
+    // A slower line (longer slot) can never support fewer queues.
+    const auto oc3072 =
+        maxQueuesMeetingSlot(32, 4, 256, LineRate::OC3072);
+    const auto oc768 =
+        maxQueuesMeetingSlot(32, 4, 256, LineRate::OC768);
+    EXPECT_GE(oc768, oc3072);
+}
+
+TEST(SramDesignsExtra, HeadSramSpecNeverEmpty)
+{
+    // Even the degenerate b = 1 configuration reserves space for
+    // in-flight cells.
+    BufferParams p{64, 32, 1, 256};
+    const auto spec = headSramSpec(p, 1);
+    EXPECT_GE(spec.cells, 1u);
+    EXPECT_EQ(spec.lists, 64u * 32);
+}

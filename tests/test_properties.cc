@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Parameterized property sweeps across (Q, B, b, M, pattern, seed):
+ * the paper's three worst-case guarantees -- zero miss, bank
+ * conflict freedom and bounded reordering -- plus FIFO integrity,
+ * checked over the whole configuration grid.  Panics inside the
+ * buffer fail the test; the golden checker validates every cell.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "buffer/hybrid_buffer.hh"
+#include "sim/runner.hh"
+#include "sim/workload.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::buffer;
+using namespace pktbuf::sim;
+
+namespace
+{
+
+enum class Pattern
+{
+    RoundRobin,
+    Uniform,
+    Bursty,
+    Subset,
+};
+
+std::string
+patternName(Pattern p)
+{
+    switch (p) {
+      case Pattern::RoundRobin:
+        return "rr";
+      case Pattern::Uniform:
+        return "uni";
+      case Pattern::Bursty:
+        return "burst";
+      case Pattern::Subset:
+        return "subset";
+    }
+    return "?";
+}
+
+std::unique_ptr<Workload>
+makeWorkload(Pattern p, unsigned queues, std::uint64_t seed)
+{
+    switch (p) {
+      case Pattern::RoundRobin:
+        return std::make_unique<RoundRobinWorstCase>(queues, seed, 1.0,
+                                                     64);
+      case Pattern::Uniform:
+        return std::make_unique<UniformRandom>(queues, seed, 0.95);
+      case Pattern::Bursty:
+        return std::make_unique<BurstyOnOff>(queues, seed, 96, 1.0);
+      case Pattern::Subset: {
+        // Consecutive ids span bank groups (group = q mod G).
+        std::vector<QueueId> subset;
+        for (QueueId q = 0; q < (queues + 1) / 2; ++q)
+            subset.push_back(q);
+        return std::make_unique<SubsetRoundRobin>(queues, seed,
+                                                  subset, 0.9);
+      }
+    }
+    return nullptr;
+}
+
+// (queues, B, b, banks, pattern, seed)
+using Config =
+    std::tuple<unsigned, unsigned, unsigned, unsigned, Pattern, int>;
+
+class BufferProperty : public ::testing::TestWithParam<Config>
+{
+};
+
+} // namespace
+
+TEST_P(BufferProperty, GuaranteesHoldEndToEnd)
+{
+    const auto [queues, B, b, banks, pattern, seed] = GetParam();
+    if (b > B || B % b != 0 || banks % (B / b) != 0)
+        GTEST_SKIP() << "inconsistent grid point";
+    // Group-bandwidth feasibility: a group sustains one access per b
+    // slots; the line needs two (read + write) spread over the
+    // groups, so tiny group counts are oversubscribed by design
+    // (DESIGN.md section 6 discusses this; the renaming tests cover
+    // the concentrated-traffic case).
+    if (b != B && banks / (B / b) < 3)
+        GTEST_SKIP() << "group bandwidth oversubscribed by design";
+    BufferConfig cfg;
+    cfg.params = model::BufferParams{queues, B, b, banks};
+    HybridBuffer buf(cfg);
+    auto wl = makeWorkload(pattern, queues, seed);
+    SimRunner runner(buf, *wl);
+
+    // 1+2: zero miss and conflict freedom: panics would throw.
+    const auto r = runner.run(30000);
+    EXPECT_GT(r.grants, 1000u);
+
+    // 3: bounded reordering (Eq. 1 / Eq. 2) -- the RR capacity is
+    // enforced by panic; the skip count is checked against the
+    // combined-register bound (two launch opportunities per interval
+    // can each pass a waiting request, see DESIGN.md).
+    if (!cfg.params.isRads()) {
+        const auto rep = buf.report();
+        EXPECT_LE(rep.rrMaxSkips,
+                  2 * static_cast<std::int64_t>(
+                          model::dsaMaxSkips(cfg.params)) + 2);
+    }
+
+    // 4: full drain preserves FIFO to the last cell.
+    runner.drain(300000);
+    std::uint64_t left = 0;
+    for (QueueId q = 0; q < queues; ++q)
+        left += wl->credit(q);
+    EXPECT_EQ(left, 0u);
+}
+
+namespace
+{
+
+std::string
+configName(const ::testing::TestParamInfo<Config> &info)
+{
+    const auto q = std::get<0>(info.param);
+    const auto B = std::get<1>(info.param);
+    const auto b = std::get<2>(info.param);
+    const auto m = std::get<3>(info.param);
+    const auto pat = std::get<4>(info.param);
+    const auto seed = std::get<5>(info.param);
+    return "Q" + std::to_string(q) + "_B" + std::to_string(B) +
+           "_b" + std::to_string(b) + "_M" + std::to_string(m) +
+           "_" + patternName(pat) + "_s" + std::to_string(seed);
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    RadsGrid, BufferProperty,
+    ::testing::Combine(::testing::Values(2u, 5u, 8u),
+                       ::testing::Values(4u, 8u),
+                       ::testing::Values(4u, 8u),  // filtered below
+                       ::testing::Values(1u),
+                       ::testing::Values(Pattern::RoundRobin,
+                                         Pattern::Uniform,
+                                         Pattern::Bursty),
+                       ::testing::Values(1, 2)),
+    configName);
+
+INSTANTIATE_TEST_SUITE_P(
+    CfdsGrid, BufferProperty,
+    // Q >= 8: smaller queue counts concentrate the full line rate on
+    // one or two bank groups, exceeding the 1-access-per-b-slots
+    // bandwidth a group provides (the paper's configurations always
+    // spread load; concentration is the renaming scenario, tested in
+    // test_renaming_buffer).
+    ::testing::Combine(::testing::Values(8u, 16u),
+                       ::testing::Values(8u),
+                       ::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(16u, 32u),
+                       ::testing::Values(Pattern::RoundRobin,
+                                         Pattern::Uniform,
+                                         Pattern::Bursty,
+                                         Pattern::Subset),
+                       ::testing::Values(1, 7)),
+    configName);
+
+TEST_P(BufferProperty, SramHighWaterWithinEnforcedCapacity)
+{
+    const auto [queues, B, b, banks, pattern, seed] = GetParam();
+    if (b > B || B % b != 0 || banks % (B / b) != 0)
+        GTEST_SKIP() << "inconsistent grid point";
+    // Group-bandwidth feasibility: a group sustains one access per b
+    // slots; the line needs two (read + write) spread over the
+    // groups, so tiny group counts are oversubscribed by design
+    // (DESIGN.md section 6 discusses this; the renaming tests cover
+    // the concentrated-traffic case).
+    if (b != B && banks / (B / b) < 3)
+        GTEST_SKIP() << "group bandwidth oversubscribed by design";
+    BufferConfig cfg;
+    cfg.params = model::BufferParams{queues, B, b, banks};
+    cfg.measureOnly = true;
+    HybridBuffer buf(cfg);
+    auto wl = makeWorkload(pattern, queues, seed);
+    SimRunner runner(buf, *wl);
+    runner.run(30000);
+    const auto rep = buf.report();
+
+    // Measured high-water vs. the capacity an enforced buffer would
+    // use: the measurement mode must never exceed it (this is the
+    // empirical validation of the dimensioning).
+    BufferConfig enforced = cfg;
+    enforced.measureOnly = false;
+    HybridBuffer sized(enforced);
+    EXPECT_LE(rep.headSramHighWater,
+              static_cast<std::int64_t>(sized.headSram().capacity()));
+    EXPECT_LE(rep.tailSramHighWater,
+              static_cast<std::int64_t>(sized.tailSram().capacity()));
+    if (!cfg.params.isRads()) {
+        EXPECT_LE(rep.rrHighWater,
+                  static_cast<std::int64_t>(
+                      model::rrSize(cfg.params)) + 4);
+    }
+}

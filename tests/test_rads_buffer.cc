@@ -1,0 +1,184 @@
+/**
+ * @file
+ * End-to-end tests of the RADS baseline (Section 3): the zero-miss
+ * guarantee under the adversarial round-robin pattern and random
+ * traffic, FIFO integrity via the golden model, and empirical
+ * validation of the ECQF dimensioning formulas.  Any miss, SRAM
+ * overflow or bank-conflict panics, so "the run completed" is the
+ * assertion; the golden checker additionally verifies every cell.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "buffer/hybrid_buffer.hh"
+#include "sim/runner.hh"
+#include "sim/workload.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::buffer;
+using namespace pktbuf::sim;
+
+namespace
+{
+
+BufferConfig
+radsConfig(unsigned queues, unsigned gran_rads)
+{
+    BufferConfig cfg;
+    cfg.params = model::BufferParams{queues, gran_rads, gran_rads, 1};
+    return cfg;
+}
+
+} // namespace
+
+TEST(RadsBuffer, ConstructionResolvesEcqfDefaults)
+{
+    HybridBuffer buf(radsConfig(8, 4));
+    EXPECT_EQ(buf.lookaheadDepth(), 8u * 3 + 1);
+    // RADS still needs the delivery stage hiding the B-slot access.
+    EXPECT_EQ(buf.latencyDepth(), 4u);
+    EXPECT_EQ(buf.pipelineDepth(), 29u);
+}
+
+TEST(RadsBuffer, WorstCaseRoundRobinZeroMiss)
+{
+    // The ECQF worst case: all queues drain in lockstep.
+    HybridBuffer buf(radsConfig(8, 4));
+    RoundRobinWorstCase wl(8, /*seed=*/1, /*load=*/1.0,
+                           /*warmup=*/64);
+    SimRunner runner(buf, wl);
+    const auto r = runner.run(50000);
+    EXPECT_GT(r.grants, 40000u);
+    EXPECT_EQ(r.drops, 0u);
+}
+
+TEST(RadsBuffer, UniformRandomZeroMiss)
+{
+    HybridBuffer buf(radsConfig(16, 8));
+    UniformRandom wl(16, 42, 0.95);
+    SimRunner runner(buf, wl);
+    const auto r = runner.run(60000);
+    EXPECT_GT(r.grants, 30000u);
+}
+
+TEST(RadsBuffer, BurstyTrafficZeroMiss)
+{
+    HybridBuffer buf(radsConfig(8, 8));
+    BurstyOnOff wl(8, 7, /*burst=*/64, /*load=*/1.0);
+    SimRunner runner(buf, wl);
+    const auto r = runner.run(60000);
+    EXPECT_GT(r.grants, 20000u);
+}
+
+TEST(RadsBuffer, SingleQueueStream)
+{
+    HybridBuffer buf(radsConfig(4, 4));
+    SingleQueue wl(4, 3, /*target=*/2, /*lead=*/32);
+    SimRunner runner(buf, wl);
+    const auto r = runner.run(20000);
+    // Full line rate on one queue: essentially every slot grants
+    // once the pipeline fills.
+    EXPECT_GT(r.grants, 19000u);
+}
+
+TEST(RadsBuffer, DrainDeliversEverything)
+{
+    HybridBuffer buf(radsConfig(8, 4));
+    RoundRobinWorstCase wl(8, 11);
+    SimRunner runner(buf, wl);
+    runner.run(9973); // odd length: pipeline mid-flight
+    runner.drain(100000);
+    // Every arrived cell was eventually granted in order.
+    std::uint64_t credit = 0;
+    for (QueueId q = 0; q < 8; ++q)
+        credit += wl.credit(q);
+    EXPECT_EQ(credit, 0u);
+}
+
+TEST(RadsBuffer, HeadSramStaysWithinEcqfBound)
+{
+    // The formula capacity is enforced by panic inside the buffer;
+    // here we additionally record how tight the bound is.
+    HybridBuffer buf(radsConfig(8, 4));
+    RoundRobinWorstCase wl(8, 5, 1.0, 32);
+    SimRunner runner(buf, wl);
+    runner.run(40000);
+    const auto rep = buf.report();
+    EXPECT_LE(rep.headSramHighWater,
+              static_cast<std::int64_t>(
+                  2 * model::ecqfSramCells(8, 4) + 4 + 4 + 1));
+    EXPECT_LE(rep.tailSramHighWater,
+              static_cast<std::int64_t>(model::tailSramCells(8, 4)));
+}
+
+TEST(RadsBuffer, ReportCountsAreConsistent)
+{
+    HybridBuffer buf(radsConfig(8, 4));
+    UniformRandom wl(8, 9, 0.9);
+    SimRunner runner(buf, wl);
+    const auto r = runner.run(30000);
+    const auto rep = buf.report();
+    EXPECT_EQ(rep.arrivals, r.arrivals);
+    EXPECT_EQ(rep.grants, r.grants);
+    EXPECT_GE(rep.arrivals, rep.grants);
+    // Every DRAM read had a matching earlier write.
+    EXPECT_LE(rep.dramReads, rep.dramWrites);
+}
+
+TEST(RadsBuffer, GrantsRespectPipelineLatency)
+{
+    // A request issued at slot t must be granted exactly at
+    // t + lookahead (RADS has no latency register).
+    HybridBuffer buf(radsConfig(4, 2));
+    const auto depth = buf.pipelineDepth();
+    // Fill queue 0 with cells first.
+    for (int i = 0; i < 32; ++i) {
+        Cell c;
+        c.queue = 0;
+        c.seq = static_cast<SeqNum>(i);
+        c.arrival = buf.now();
+        buf.step(c, kInvalidQueue);
+    }
+    // Issue one request and count slots to the grant.
+    const Slot issued = buf.now();
+    auto g = buf.step(std::nullopt, 0);
+    EXPECT_FALSE(g.has_value());
+    std::uint64_t waited = 0;
+    while (!g && waited < depth + 8) {
+        g = buf.step(std::nullopt, kInvalidQueue);
+        ++waited;
+    }
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(buf.now() - issued, depth + 1);
+    EXPECT_EQ(g->cell.queue, 0u);
+    EXPECT_EQ(g->cell.seq, 0u);
+}
+
+TEST(RadsBuffer, MdqfWithLargerSramSurvivesWorstCase)
+{
+    // Ablation: the no-lookahead MDQF needs Q(b-1)(2+lnQ) cells.
+    BufferConfig cfg = radsConfig(8, 4);
+    cfg.mma = MmaKind::Mdqf;
+    HybridBuffer buf(cfg);
+    EXPECT_EQ(buf.lookaheadDepth(), 1u);
+    RoundRobinWorstCase wl(8, 21, 1.0, 64);
+    SimRunner runner(buf, wl);
+    const auto r = runner.run(40000);
+    EXPECT_GT(r.grants, 30000u);
+}
+
+TEST(RadsBuffer, FiniteDramAdmissionControl)
+{
+    BufferConfig cfg = radsConfig(4, 4);
+    cfg.dramCells = 64; // tiny DRAM
+    HybridBuffer buf(cfg);
+    // Arrivals only (no requests): queues fill DRAM, then the
+    // buffer must refuse admission rather than overflow.
+    SingleQueue wl(4, 13, 0, /*lead=*/1u << 30);
+    SimRunner runner(buf, wl);
+    const auto r = runner.run(5000);
+    EXPECT_GT(r.drops, 0u);
+    EXPECT_LE(buf.report().dramResidentCells, 64u);
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests of the queue-renaming machinery (Section 6): tail
+ * assignment, cross-group allocation when a group fills, FIFO
+ * translation across the physical-queue chain, retirement and
+ * recycling, and oversubscription exhaustion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/logging.hh"
+#include "rename/renaming_table.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::rename;
+
+namespace
+{
+
+GroupFreeFn
+unbounded()
+{
+    return [](unsigned) { return UINT64_MAX; };
+}
+
+} // namespace
+
+TEST(Renaming, FirstArrivalAllocatesOnePhysQueue)
+{
+    RenamingTable rt(2, 8, 4);
+    EXPECT_TRUE(rt.canAssign(0, unbounded()));
+    const auto p = rt.assignArrival(0, unbounded());
+    EXPECT_LT(p, 8u);
+    EXPECT_EQ(rt.chainLength(0), 1u);
+    EXPECT_EQ(rt.tailPhys(0), p);
+    EXPECT_EQ(rt.freePhysCount(), 7u);
+    // Subsequent arrivals stay on the same physical queue.
+    EXPECT_EQ(rt.assignArrival(0, unbounded()), p);
+    EXPECT_EQ(rt.chainLength(0), 1u);
+}
+
+TEST(Renaming, FullGroupForcesCrossGroupSpill)
+{
+    RenamingTable rt(1, 8, 4);
+    const auto p0 = rt.assignArrival(0, unbounded());
+    const auto g0 = rt.groupOf(p0);
+    // Now report the tail's group as full: next arrival must land
+    // on a different group.
+    auto g_free = [&](unsigned g) -> std::uint64_t {
+        return g == g0 ? 0 : 1000;
+    };
+    const auto p1 = rt.assignArrival(0, g_free);
+    EXPECT_NE(rt.groupOf(p1), g0);
+    EXPECT_EQ(rt.chainLength(0), 2u);
+    EXPECT_EQ(rt.renames(), 1u);
+}
+
+TEST(Renaming, AllocationBalancesTowardEmptiestGroup)
+{
+    RenamingTable rt(4, 16, 4);
+    std::map<unsigned, std::uint64_t> free_cells{
+        {0, 10}, {1, 500}, {2, 50}, {3, 40}};
+    auto g_free = [&](unsigned g) { return free_cells[g]; };
+    const auto p = rt.assignArrival(0, g_free);
+    EXPECT_EQ(rt.groupOf(p), 1u);
+}
+
+TEST(Renaming, TranslationFollowsFifoAcrossChain)
+{
+    RenamingTable rt(1, 8, 2);
+    // 3 cells on phys A, then the group "fills", 2 cells on phys B.
+    const auto pa = rt.assignArrival(0, unbounded());
+    rt.assignArrival(0, unbounded());
+    rt.assignArrival(0, unbounded());
+    auto full = [&](unsigned g) -> std::uint64_t {
+        return g == rt.groupOf(pa) ? 0 : 1000;
+    };
+    const auto pb = rt.assignArrival(0, full);
+    rt.assignArrival(0, full);
+    ASSERT_NE(pa, pb);
+    // Requests 1-3 drain phys A, 4-5 drain phys B.
+    EXPECT_EQ(rt.translateRequest(0), pa);
+    EXPECT_EQ(rt.translateRequest(0), pa);
+    EXPECT_EQ(rt.translateRequest(0), pa);
+    EXPECT_EQ(rt.translateRequest(0), pb);
+    EXPECT_EQ(rt.translateRequest(0), pb);
+}
+
+TEST(Renaming, RetireAndRecycleAfterFullDrain)
+{
+    RenamingTable rt(1, 4, 2);
+    const auto pa = rt.assignArrival(0, unbounded());
+    rt.assignArrival(0, unbounded());
+    auto full = [&](unsigned g) -> std::uint64_t {
+        return g == rt.groupOf(pa) ? 0 : 1000;
+    };
+    rt.assignArrival(0, full); // phys B allocated
+    rt.translateRequest(0);
+    rt.translateRequest(0);
+    // First grant: element A not yet fully granted.
+    EXPECT_TRUE(rt.onGrant(0).empty());
+    // Second grant drains A completely; A retires.
+    const auto rec = rt.onGrant(0);
+    ASSERT_EQ(rec.size(), 1u);
+    EXPECT_EQ(rec[0], pa);
+    EXPECT_EQ(rt.chainLength(0), 1u);
+    EXPECT_EQ(rt.recycles(), 1u);
+    // The recycled name is available again.
+    EXPECT_EQ(rt.freePhysCount(), 3u);
+}
+
+TEST(Renaming, TailElementNeverRetiresEarly)
+{
+    RenamingTable rt(1, 4, 2);
+    rt.assignArrival(0, unbounded());
+    rt.translateRequest(0);
+    // Fully requested and granted, but it is the tail: more
+    // arrivals may come, so it must stay.
+    EXPECT_TRUE(rt.onGrant(0).empty());
+    EXPECT_EQ(rt.chainLength(0), 1u);
+}
+
+TEST(Renaming, RequestBeyondArrivalsPanics)
+{
+    RenamingTable rt(1, 2, 1);
+    rt.assignArrival(0, unbounded());
+    rt.translateRequest(0);
+    EXPECT_THROW(rt.translateRequest(0), PanicError);
+}
+
+TEST(Renaming, ExhaustionRefusesAdmission)
+{
+    // 2 logical queues, 2 physical queues, 2 groups: once both
+    // names are taken and the tails' groups are full, admission
+    // must fail rather than corrupt state.
+    RenamingTable rt(2, 2, 2);
+    const auto p0 = rt.assignArrival(0, unbounded());
+    const auto p1 = rt.assignArrival(1, unbounded());
+    auto all_full = [&](unsigned) -> std::uint64_t { return 0; };
+    EXPECT_FALSE(rt.canAssign(0, all_full));
+    (void)p0;
+    (void)p1;
+}
+
+TEST(Renaming, OversubscriptionRequired)
+{
+    EXPECT_THROW(RenamingTable(8, 4, 2), FatalError);
+    EXPECT_NO_THROW(RenamingTable(4, 8, 2));
+}
+
+TEST(Renaming, IndependentLogicalQueues)
+{
+    RenamingTable rt(3, 12, 4);
+    const auto a = rt.assignArrival(0, unbounded());
+    const auto b = rt.assignArrival(1, unbounded());
+    const auto c = rt.assignArrival(2, unbounded());
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(rt.translateRequest(1), b);
+}

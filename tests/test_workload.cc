@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests of the workload generators: credit discipline (a
+ * request only for arrived cells), determinism, admission drops,
+ * and the characteristic shape of each pattern.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "sim/golden.hh"
+#include "sim/workload.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::sim;
+
+TEST(Workload, RequestsNeverExceedArrivals)
+{
+    UniformRandom wl(8, 3, 0.7);
+    std::vector<std::int64_t> balance(8, 0);
+    for (Slot t = 0; t < 20000; ++t) {
+        const auto s = wl.step(t);
+        if (s.arrival)
+            ++balance[s.arrival->queue];
+        if (s.request != kInvalidQueue) {
+            --balance[s.request];
+            ASSERT_GE(balance[s.request], 0) << "slot " << t;
+        }
+    }
+}
+
+TEST(Workload, SequenceNumbersAreDensePerQueue)
+{
+    RoundRobinWorstCase wl(4, 1);
+    std::vector<SeqNum> next(4, 0);
+    for (Slot t = 0; t < 1000; ++t) {
+        const auto s = wl.step(t);
+        if (s.arrival) {
+            EXPECT_EQ(s.arrival->seq, next[s.arrival->queue]);
+            ++next[s.arrival->queue];
+        }
+    }
+}
+
+TEST(Workload, DeterministicForSameSeed)
+{
+    UniformRandom a(8, 99), b(8, 99);
+    for (Slot t = 0; t < 2000; ++t) {
+        const auto sa = a.step(t);
+        const auto sb = b.step(t);
+        EXPECT_EQ(sa.request, sb.request);
+        ASSERT_EQ(sa.arrival.has_value(), sb.arrival.has_value());
+        if (sa.arrival) {
+            EXPECT_EQ(sa.arrival->queue, sb.arrival->queue);
+        }
+    }
+}
+
+TEST(Workload, AdmissionPredicateDropsBeforeCredit)
+{
+    SingleQueue wl(2, 5, 0, /*lead=*/1u << 30);
+    std::uint64_t admitted = 0;
+    for (Slot t = 0; t < 100; ++t) {
+        const auto s = wl.step(t, [&](QueueId) { return t % 2 == 0; });
+        if (s.arrival)
+            ++admitted;
+    }
+    EXPECT_EQ(admitted, 50u);
+    EXPECT_EQ(wl.drops(), 50u);
+    EXPECT_EQ(wl.credit(0), 50u);
+}
+
+TEST(Workload, RoundRobinWorstCaseDrainsAllQueuesEvenly)
+{
+    RoundRobinWorstCase wl(4, 2, 1.0, /*warmup=*/16);
+    std::vector<std::uint64_t> requested(4, 0);
+    for (Slot t = 0; t < 4016; ++t) {
+        const auto s = wl.step(t);
+        if (s.request != kInvalidQueue)
+            ++requested[s.request];
+    }
+    for (unsigned q = 0; q < 4; ++q) {
+        EXPECT_NEAR(static_cast<double>(requested[q]), 1000.0, 20.0);
+    }
+}
+
+TEST(Workload, SingleQueueTargetsOneQueue)
+{
+    SingleQueue wl(4, 7, 2, 8);
+    for (Slot t = 0; t < 500; ++t) {
+        const auto s = wl.step(t);
+        if (s.arrival) {
+            EXPECT_EQ(s.arrival->queue, 2u);
+        }
+        if (s.request != kInvalidQueue) {
+            EXPECT_EQ(s.request, 2u);
+        }
+    }
+}
+
+TEST(Workload, SubsetRoundRobinStaysInSubset)
+{
+    SubsetRoundRobin wl(16, 3, {1, 5, 9}, 0.5);
+    std::set<QueueId> seen;
+    for (Slot t = 0; t < 300; ++t) {
+        const auto s = wl.step(t);
+        if (s.arrival)
+            seen.insert(s.arrival->queue);
+    }
+    EXPECT_EQ(seen, (std::set<QueueId>{1, 5, 9}));
+}
+
+TEST(Workload, BurstyProducesRuns)
+{
+    BurstyOnOff wl(8, 11, 64, 1.0);
+    QueueId prev = kInvalidQueue;
+    std::uint64_t same = 0, total = 0;
+    for (Slot t = 0; t < 5000; ++t) {
+        const auto s = wl.step(t);
+        if (s.arrival) {
+            if (s.arrival->queue == prev)
+                ++same;
+            prev = s.arrival->queue;
+            ++total;
+        }
+    }
+    // Strong autocorrelation: most consecutive arrivals share a
+    // queue (mean burst 32 cells).
+    EXPECT_GT(static_cast<double>(same) / total, 0.9);
+}
+
+TEST(Workload, TraceReplayIsExact)
+{
+    const std::vector<TraceReplay::Entry> entries{
+        {0, kInvalidQueue},
+        {1, 0},
+        {kInvalidQueue, 1},
+        {2, kInvalidQueue}};
+    TraceReplay wl(3, entries);
+    for (Slot t = 0; t < 6; ++t) {
+        const auto s = wl.step(t);
+        const TraceReplay::Entry want =
+            t < entries.size() ? entries[t]
+                               : TraceReplay::Entry{};
+        EXPECT_EQ(s.arrival.has_value(),
+                  want.arrival != kInvalidQueue)
+            << "slot " << t;
+        if (s.arrival && want.arrival != kInvalidQueue) {
+            EXPECT_EQ(s.arrival->queue, want.arrival);
+        }
+        EXPECT_EQ(s.request, want.request) << "slot " << t;
+    }
+}
+
+TEST(Workload, RequestingUnavailableCellPanics)
+{
+    TraceReplay wl(2, {{kInvalidQueue, 0}});
+    EXPECT_THROW(wl.step(0), PanicError);
+}
+
+TEST(Golden, DetectsReorderAndWrongQueue)
+{
+    GoldenChecker g(2);
+    Cell c0{0, 0, 0}, c1{0, 1, 0};
+    g.onGrant(0, c0);
+    EXPECT_EQ(g.granted(), 1u);
+    // Skipping seq 1 is a violation.
+    Cell c2{0, 2, 0};
+    EXPECT_THROW(g.onGrant(0, c2), PanicError);
+    // Wrong queue is a violation.
+    EXPECT_THROW(g.onGrant(1, c1), PanicError);
+}
