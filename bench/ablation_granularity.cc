@@ -12,6 +12,7 @@
 
 #include "buffer/hybrid_buffer.hh"
 #include "sim/runner.hh"
+#include "bench_common.hh"
 #include "sim/workload.hh"
 
 using namespace pktbuf;
@@ -19,12 +20,15 @@ using namespace pktbuf::buffer;
 using namespace pktbuf::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto slots = bench::scaledSlots(
+        80000, bench::smokeMode(argc, argv));
     const unsigned queues = 16, B = 16, banks = 128;
     std::printf("Granularity ablation (simulated): Q=%u, B=%u,"
-                " M=%u, worst-case round-robin, 80k slots.\n\n",
-                queues, B, banks);
+                " M=%u, worst-case round-robin, %lu slots.\n\n",
+                queues, B, banks,
+                static_cast<unsigned long>(slots));
     std::printf("%4s %10s %10s %10s %10s %10s %10s\n", "b",
                 "pipeline", "hSRAM hw", "tSRAM hw", "RR hw",
                 "skips", "grants");
@@ -36,7 +40,7 @@ main()
         HybridBuffer buf(cfg);
         RoundRobinWorstCase wl(queues, 7, 1.0, 64);
         SimRunner runner(buf, wl);
-        const auto r = runner.run(80000);
+        const auto r = runner.run(slots);
         const auto rep = buf.report();
         std::printf("%4u %10lu %10ld %10ld %10ld %10ld %10lu\n", b,
                     static_cast<unsigned long>(buf.pipelineDepth()),

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_common.hh"
 #include "buffer/hybrid_buffer.hh"
 #include "sim/runner.hh"
 #include "sim/workload.hh"
@@ -26,7 +27,8 @@ namespace
 {
 
 std::int64_t
-measure(MmaKind mma, unsigned queues, unsigned gran)
+measure(MmaKind mma, unsigned queues, unsigned gran,
+        std::uint64_t slots)
 {
     std::int64_t worst = 0;
     for (int pat = 0; pat < 2; ++pat) {
@@ -42,7 +44,7 @@ measure(MmaKind mma, unsigned queues, unsigned gran)
         else
             wl = std::make_unique<UniformRandom>(queues, 3, 1.0);
         SimRunner runner(buf, *wl);
-        runner.run(60000);
+        runner.run(slots);
         worst = std::max(worst, buf.report().headSramHighWater);
     }
     return worst;
@@ -51,8 +53,10 @@ measure(MmaKind mma, unsigned queues, unsigned gran)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto slots = bench::scaledSlots(
+        60000, bench::smokeMode(argc, argv));
     std::printf("MMA ablation: measured head-SRAM high water (cells)"
                 " under adversarial traffic,\nagainst the SRAM each"
                 " algorithm must PROVISION for zero loss on any"
@@ -62,8 +66,8 @@ main()
                 "Q(b-1)(2+lnQ)", "bound");
     for (unsigned q : {4u, 8u, 16u, 32u}) {
         const unsigned b = 8;
-        const auto e = measure(MmaKind::Ecqf, q, b);
-        const auto m = measure(MmaKind::Mdqf, q, b);
+        const auto e = measure(MmaKind::Ecqf, q, b, slots);
+        const auto m = measure(MmaKind::Mdqf, q, b, slots);
         std::printf("%4u %4u | %10ld %12lu | %10ld %12lu | %7.2fx\n",
                     q, b, e,
                     static_cast<unsigned long>(

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the stand-alone bench harnesses.  Every
+ * simulation-driven bench accepts `--smoke`: CI runs the same
+ * binaries at reduced slot budgets so a regression in any harness is
+ * caught without paying full sweep time on every push.
+ */
+
+#ifndef PKTBUF_BENCH_COMMON_HH
+#define PKTBUF_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pktbuf::bench
+{
+
+/**
+ * True when argv contains --smoke.  Any other argument is rejected
+ * loudly: a mistyped --smoke silently running the full-length sweep
+ * is exactly the CI failure mode this helper exists to prevent.
+ */
+inline bool
+smokeMode(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke")) {
+            smoke = true;
+        } else {
+            std::fprintf(stderr, "%s: unknown argument '%s'"
+                         " (only --smoke is accepted)\n",
+                         argv[0], argv[i]);
+            std::exit(2);
+        }
+    }
+    return smoke;
+}
+
+/**
+ * Scale a slot budget down in smoke mode, keeping enough slots for
+ * the buffer to reach steady state past warmup and pipeline fill.
+ */
+inline std::uint64_t
+scaledSlots(std::uint64_t full, bool smoke)
+{
+    constexpr std::uint64_t kFloor = 4000;
+    if (!smoke || full <= kFloor)
+        return full;
+    const std::uint64_t reduced = full / 10;
+    return reduced < kFloor ? kFloor : reduced;
+}
+
+} // namespace pktbuf::bench
+
+#endif // PKTBUF_BENCH_COMMON_HH

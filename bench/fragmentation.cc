@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "buffer/hybrid_buffer.hh"
 #include "sim/runner.hh"
 #include "sim/workload.hh"
@@ -56,9 +57,12 @@ fillOneQueue(bool renaming, std::uint64_t dram_cells)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t dram = 1024; // cells; 8 groups of 128
+    // Smoke mode shrinks the DRAM (and with it the fill time), not
+    // the slot count: the experiment must still fill to saturation.
+    const std::uint64_t dram =
+        bench::smokeMode(argc, argv) ? 256 : 1024;
     std::printf("Section 6 reproduction: DRAM utilization when one"
                 " logical queue takes all traffic\n(DRAM %lu cells in"
                 " 8 groups of %lu).\n\n",

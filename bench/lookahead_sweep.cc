@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "buffer/hybrid_buffer.hh"
 #include "sim/runner.hh"
 #include "sim/workload.hh"
@@ -22,8 +23,10 @@ using namespace pktbuf::buffer;
 using namespace pktbuf::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto slots = bench::scaledSlots(
+        60000, bench::smokeMode(argc, argv));
     const unsigned queues = 16, B = 8;
     const auto lmax = model::ecqfLookaheadSlots(queues, B);
     std::printf("Lookahead ablation (simulated RADS): Q=%u, B=%u,"
@@ -44,7 +47,7 @@ main()
         SimRunner runner(buf, wl);
         bool missed = false;
         try {
-            runner.run(60000);
+            runner.run(slots);
         } catch (const std::exception &) {
             missed = true;
         }

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_common.hh"
 #include "buffer/hybrid_buffer.hh"
 #include "sim/runner.hh"
 #include "sim/workload.hh"
@@ -47,7 +48,7 @@ const char *kPatName[] = {"worst-rr", "uniform", "bursty"};
 
 void
 runOne(unsigned queues, unsigned B, unsigned b, unsigned banks,
-       int pat)
+       int pat, std::uint64_t slots)
 {
     BufferConfig cfg;
     cfg.params = model::BufferParams{queues, B, b, banks};
@@ -58,7 +59,7 @@ runOne(unsigned queues, unsigned B, unsigned b, unsigned banks,
     bool ok = true;
     std::uint64_t grants = 0;
     try {
-        const auto r = runner.run(60000);
+        const auto r = runner.run(slots);
         grants = r.grants;
     } catch (const std::exception &e) {
         ok = false;
@@ -96,18 +97,20 @@ runOne(unsigned queues, unsigned B, unsigned b, unsigned banks,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto slots = bench::scaledSlots(
+        60000, bench::smokeMode(argc, argv));
     std::printf("Empirical validation of the worst-case guarantees"
                 " (measured/bound; miss must be 0).\n\n");
     for (int pat = 0; pat < 3; ++pat) {
-        runOne(8, 8, 8, 1, pat);    // RADS
-        runOne(16, 8, 8, 1, pat);   // RADS, more queues
-        runOne(8, 8, 4, 16, pat);   // CFDS, B/b = 2
-        runOne(8, 8, 2, 16, pat);   // CFDS, B/b = 4
-        runOne(8, 8, 1, 32, pat);   // CFDS, per-cell transfers
-        runOne(16, 8, 2, 32, pat);  // CFDS, wider
-        runOne(16, 16, 4, 64, pat); // CFDS, deeper DRAM timing
+        runOne(8, 8, 8, 1, pat, slots);    // RADS
+        runOne(16, 8, 8, 1, pat, slots);   // RADS, more queues
+        runOne(8, 8, 4, 16, pat, slots);   // CFDS, B/b = 2
+        runOne(8, 8, 2, 16, pat, slots);   // CFDS, B/b = 4
+        runOne(8, 8, 1, 32, pat, slots);   // CFDS, per-cell
+        runOne(16, 8, 2, 32, pat, slots);  // CFDS, wider
+        runOne(16, 16, 4, 64, pat, slots); // CFDS, deeper timing
     }
     std::printf("\nAll rows completing with miss=0 and measurements"
                 " within bounds reproduce the paper's zero-miss and"

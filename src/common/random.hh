@@ -15,11 +15,17 @@
 namespace pktbuf
 {
 
-/** xoshiro256** seeded through splitmix64. */
+/**
+ * xoshiro256** seeded through splitmix64.
+ *
+ * The seed is deliberately *not* defaulted: every randomized
+ * workload, test and bench must name its seed so any failure can be
+ * reproduced bit-for-bit from the log alone.
+ */
 class Rng
 {
   public:
-    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    explicit Rng(std::uint64_t seed)
     {
         // splitmix64 expansion of the seed into the four state words.
         std::uint64_t x = seed;

@@ -23,12 +23,14 @@ class AddressMap
 {
   public:
     AddressMap(unsigned banks, unsigned banks_per_group)
-        : banks_(banks), banks_per_group_(banks_per_group),
-          groups_(banks / banks_per_group)
+        : banks_(banks), banks_per_group_(banks_per_group)
     {
+        // Validate before dividing: groups_ = banks / 0 in the
+        // initializer list would be UB before the panic fires.
         panic_if(banks_per_group == 0, "banks_per_group == 0");
         panic_if(banks % banks_per_group != 0,
                  "banks not a multiple of group size");
+        groups_ = banks / banks_per_group;
     }
 
     unsigned banks() const { return banks_; }
@@ -53,7 +55,7 @@ class AddressMap
   private:
     unsigned banks_;
     unsigned banks_per_group_;
-    unsigned groups_;
+    unsigned groups_ = 0;
 };
 
 } // namespace pktbuf::dram

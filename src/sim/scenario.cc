@@ -1,0 +1,254 @@
+#include "scenario.hh"
+
+#include <exception>
+#include <sstream>
+
+#include "buffer/hybrid_buffer.hh"
+#include "common/logging.hh"
+
+namespace pktbuf::sim
+{
+
+std::string
+toString(BufferVariant v)
+{
+    switch (v) {
+      case BufferVariant::Rads:
+        return "rads";
+      case BufferVariant::Cfds:
+        return "cfds";
+      case BufferVariant::CfdsRenaming:
+        return "renaming";
+    }
+    return "?";
+}
+
+std::string
+toString(WorkloadKind k)
+{
+    switch (k) {
+      case WorkloadKind::Adversarial:
+        return "adversarial";
+      case WorkloadKind::Bernoulli:
+        return "bernoulli";
+      case WorkloadKind::Bursty:
+        return "bursty";
+      case WorkloadKind::DrainPermutation:
+        return "drainperm";
+    }
+    return "?";
+}
+
+std::string
+Scenario::name() const
+{
+    std::ostringstream os;
+    os << toString(variant) << "_" << toString(workload) << "_q"
+       << queues << "_B" << granRads << "_b"
+       << (variant == BufferVariant::Rads ? granRads : gran);
+    if (physQueues && physQueues != queues)
+        os << "_p" << physQueues;
+    return os.str();
+}
+
+std::string
+Scenario::describe() const
+{
+    std::ostringstream os;
+    os << name() << " groups=" << groups << " dram="
+       << (dramCells ? std::to_string(dramCells) : "unbounded")
+       << " load=" << load << " slots=" << slots << " seed=" << seed;
+    return os.str();
+}
+
+buffer::BufferConfig
+Scenario::bufferConfig() const
+{
+    buffer::BufferConfig cfg;
+    const unsigned phys = physQueues ? physQueues : queues;
+    const unsigned b = variant == BufferVariant::Rads ? granRads : gran;
+    const unsigned banks_per_group = granRads / (b ? b : 1);
+    cfg.params = model::BufferParams{phys, granRads, b,
+                                     groups * banks_per_group};
+    cfg.dramCells = dramCells;
+    if (variant == BufferVariant::CfdsRenaming) {
+        cfg.logicalQueues = queues;
+        cfg.renaming = true;
+    }
+    return cfg;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const Scenario &s)
+{
+    // Requests start only after the buffer has had a chance to fill:
+    // long enough for any grid in the matrix, short enough that every
+    // leg spends nearly all its slots in steady state.
+    constexpr std::uint64_t kWarmup = 64;
+    switch (s.workload) {
+      case WorkloadKind::Adversarial:
+        return std::make_unique<RoundRobinWorstCase>(
+            s.queues, s.seed, s.load, kWarmup);
+      case WorkloadKind::Bernoulli:
+        return std::make_unique<UniformRandom>(s.queues, s.seed,
+                                               s.load);
+      case WorkloadKind::Bursty:
+        return std::make_unique<BurstyOnOff>(s.queues, s.seed,
+                                             /*burst_len=*/64, s.load);
+      case WorkloadKind::DrainPermutation:
+        return std::make_unique<PermutedDrain>(s.queues, s.seed,
+                                               kWarmup, s.load);
+    }
+    panic("unknown workload kind");
+}
+
+ScenarioOutcome
+runScenario(const Scenario &s)
+{
+    ScenarioOutcome out;
+    std::ostringstream why;
+    try {
+        buffer::HybridBuffer buf(s.bufferConfig());
+        const auto wl = makeWorkload(s);
+        SimRunner runner(buf, *wl, /*check=*/true);
+        out.run = runner.run(s.slots);
+
+        std::uint64_t credits = 0;
+        for (QueueId q = 0; q < wl->queues(); ++q)
+            credits += wl->credit(q);
+        // Steady-state drain delivers ~1 cell/slot; the budget leaves
+        // generous slack for pipeline refill and bank conflicts.
+        const std::uint64_t budget =
+            8 * credits + 16 * buf.pipelineDepth() +
+            64ull * s.granRads + 4096;
+        out.drained = runner.drain(budget);
+
+        out.verified = runner.checker().granted();
+        out.report = buf.report();
+        for (QueueId q = 0; q < wl->queues(); ++q)
+            out.undelivered += wl->credit(q);
+
+        if (out.verified != out.run.grants + out.drained) {
+            why << "golden checker saw " << out.verified
+                << " grants, runner counted "
+                << out.run.grants + out.drained << "; ";
+        }
+        if (out.undelivered != 0) {
+            why << out.undelivered
+                << " cells arrived but were never granted; ";
+        }
+        if (out.verified != out.run.arrivals) {
+            why << "delivered " << out.verified << " of "
+                << out.run.arrivals << " admitted arrivals; ";
+        }
+        if (out.verified == 0)
+            why << "leg delivered no cells at all; ";
+    } catch (const std::exception &e) {
+        why << "exception: " << e.what() << "; ";
+    }
+
+    out.passed = why.str().empty();
+    if (!out.passed) {
+        // Always name the scenario and seed so the leg can be
+        // replayed from the log alone.
+        why << "[" << s.describe() << "]";
+        out.failure = why.str();
+    }
+    return out;
+}
+
+namespace
+{
+
+/** One (Q, B, b, G) point of a variant's grid. */
+struct Grid
+{
+    unsigned queues;
+    unsigned granRads;
+    unsigned gran;
+    unsigned groups;
+};
+
+constexpr WorkloadKind kAllWorkloads[] = {
+    WorkloadKind::Adversarial,
+    WorkloadKind::Bernoulli,
+    WorkloadKind::Bursty,
+    WorkloadKind::DrainPermutation,
+};
+
+Scenario
+makeLeg(BufferVariant v, WorkloadKind w, const Grid &g,
+        std::uint64_t slots)
+{
+    Scenario s;
+    s.variant = v;
+    s.workload = w;
+    s.queues = g.queues;
+    s.granRads = g.granRads;
+    s.gran = g.gran;
+    s.groups = g.groups;
+    s.slots = slots;
+    // Bernoulli and bursty legs back off from full load so random
+    // request droughts cannot starve the drain budget.
+    if (w == WorkloadKind::Bernoulli)
+        s.load = 0.9;
+    // Distinct deterministic seed per leg: identical runs replay
+    // bit-for-bit, different legs decorrelate.
+    s.seed = 1000 + 101 * static_cast<std::uint64_t>(v) +
+             11 * static_cast<std::uint64_t>(w) + g.queues +
+             8191ull * g.gran + 131071ull * g.granRads;
+    if (v == BufferVariant::CfdsRenaming) {
+        // Fewer logical than physical queues and a DRAM tight enough
+        // that a group's share (dram/G) is smaller than one queue's
+        // achievable backlog: renaming chains must actually form,
+        // not merely be enabled (the whole point of Section 6).
+        s.physQueues = g.queues;
+        s.queues = g.queues / 2;
+        s.dramCells = 1ull * g.queues * g.granRads;
+    }
+    return s;
+}
+
+std::vector<Scenario>
+buildMatrix(std::uint64_t slots, bool full)
+{
+    // Per-variant grids: the granularity axis sweeps b (and, for
+    // RADS, B itself); the queue axis sweeps Q.
+    const std::vector<Grid> rads_full = {
+        {4, 8, 8, 1}, {8, 8, 8, 1}, {8, 16, 16, 1}};
+    const std::vector<Grid> cfds_full = {
+        {4, 8, 1, 4}, {8, 8, 2, 4}, {8, 8, 4, 2}, {16, 8, 2, 8}};
+    const std::vector<Grid> ren_full = {
+        {8, 8, 2, 4}, {8, 8, 4, 2}, {16, 8, 2, 8}};
+
+    const std::vector<Grid> rads_smoke = {{8, 8, 8, 1}};
+    const std::vector<Grid> cfds_smoke = {{8, 8, 2, 4}};
+    const std::vector<Grid> ren_smoke = {{8, 8, 2, 4}};
+
+    std::vector<Scenario> m;
+    const auto add = [&](BufferVariant v, const std::vector<Grid> &gs) {
+        for (const auto w : kAllWorkloads)
+            for (const auto &g : gs)
+                m.push_back(makeLeg(v, w, g, slots));
+    };
+    add(BufferVariant::Rads, full ? rads_full : rads_smoke);
+    add(BufferVariant::Cfds, full ? cfds_full : cfds_smoke);
+    add(BufferVariant::CfdsRenaming, full ? ren_full : ren_smoke);
+    return m;
+}
+
+} // namespace
+
+std::vector<Scenario>
+defaultMatrix()
+{
+    return buildMatrix(/*slots=*/20000, /*full=*/true);
+}
+
+std::vector<Scenario>
+smokeMatrix()
+{
+    return buildMatrix(/*slots=*/4000, /*full=*/false);
+}
+
+} // namespace pktbuf::sim

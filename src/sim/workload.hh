@@ -19,6 +19,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.hh"
@@ -327,6 +328,81 @@ class SubsetRoundRobin : public Workload
     std::vector<QueueId> subset_;
     double request_load_;
     std::size_t idx_ = 0;
+};
+
+/**
+ * Drain-order permutation: arrivals round-robin over all queues; the
+ * arbiter empties queues one at a time, whole queue by whole queue,
+ * in a seeded random permutation order (a fresh permutation per
+ * pass).  Whole-queue drains stress the head MMA differently from
+ * cell-interleaved patterns: one queue's head SRAM empties at line
+ * rate while every other queue keeps accumulating.
+ */
+class PermutedDrain : public Workload
+{
+  public:
+    PermutedDrain(unsigned queues, std::uint64_t seed,
+                  std::uint64_t warmup = 0, double load = 1.0)
+        : Workload(queues, seed), warmup_(warmup), load_(load),
+          perm_(queues)
+    {
+        for (unsigned i = 0; i < queues; ++i)
+            perm_[i] = i;
+        reshuffle();
+    }
+
+    std::string name() const override { return "permuted-drain"; }
+
+  protected:
+    QueueId
+    arrivalQueue(Slot) override
+    {
+        if (load_ < 1.0 && !rng_.chance(load_))
+            return kInvalidQueue;
+        const QueueId q = arr_;
+        arr_ = (arr_ + 1) % queues_;
+        return q;
+    }
+
+    QueueId
+    requestQueue(Slot now) override
+    {
+        if (now < warmup_)
+            return kInvalidQueue;
+        // Finish the current pass, then scan one full fresh pass.
+        // The second scan covers the new permutation end to end, so
+        // a credited queue can never be missed by the reshuffle
+        // moving it behind the scan position.
+        for (int pass = 0; pass < 2; ++pass) {
+            while (pos_ < queues_) {
+                const QueueId q = perm_[pos_];
+                if (credit(q) > 0)
+                    return q;
+                ++pos_;
+            }
+            pos_ = 0;
+            if (pass == 0)
+                reshuffle();
+        }
+        return kInvalidQueue;
+    }
+
+  private:
+    void
+    reshuffle()
+    {
+        // Fisher-Yates with the workload's own deterministic RNG.
+        for (unsigned i = queues_ - 1; i > 0; --i) {
+            const auto j = static_cast<unsigned>(rng_.below(i + 1));
+            std::swap(perm_[i], perm_[j]);
+        }
+    }
+
+    std::uint64_t warmup_;
+    double load_;
+    std::vector<QueueId> perm_;
+    unsigned pos_ = 0;
+    QueueId arr_ = 0;
 };
 
 /** Replay of an explicit per-slot trace (used by unit tests). */

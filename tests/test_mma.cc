@@ -140,6 +140,85 @@ TEST(Mdqf, NoCandidatesReturnsInvalid)
               kInvalidQueue);
 }
 
+// ---------------------------------------------------------------
+// ECQF vs MDQF: the value (and the blind spot) of lookahead.
+// ---------------------------------------------------------------
+
+TEST(EcqfVsMdqf, LookaheadOverridesDeficitDepth)
+{
+    // Queue 0 carries the deeper deficit, but the lookahead shows
+    // queue 1 running dry first.  Feeding both MMAs identical
+    // issue/leave histories, ECQF replenishes queue 1 while the
+    // lookahead-blind MDQF goes for queue 0.
+    EcqfMma ecqf(3);
+    MdqfMma mdqf(3);
+    for (int i = 0; i < 3; ++i) {
+        ecqf.onRequestLeaving(0);
+        mdqf.onRequestLeaving(0);
+    }
+    ecqf.onReplenishIssued(1, 1);
+    mdqf.onReplenishIssued(1, 1);
+
+    auto look = lookaheadOf(8, {1, 1, 0, 0, 0, 0});
+    const auto ecqf_pick = ecqf.select(look, ident);
+    const auto mdqf_pick =
+        mdqf.select(4, [](QueueId) { return true; });
+    EXPECT_EQ(ecqf_pick, 1u);
+    EXPECT_EQ(mdqf_pick, 0u);
+    EXPECT_NE(ecqf_pick, mdqf_pick);
+}
+
+TEST(EcqfVsMdqf, AgreeWhenLookaheadConfirmsTheDeficit)
+{
+    // When the imminent requests target the most-deficited queue,
+    // lookahead adds nothing: both algorithms choose the same queue.
+    EcqfMma ecqf(3);
+    MdqfMma mdqf(3);
+    for (int i = 0; i < 2; ++i) {
+        ecqf.onRequestLeaving(2);
+        mdqf.onRequestLeaving(2);
+    }
+    auto look = lookaheadOf(6, {2, 2, 1, 1});
+    EXPECT_EQ(ecqf.select(look, ident), 2u);
+    EXPECT_EQ(mdqf.select(4, [](QueueId) { return true; }), 2u);
+}
+
+TEST(EcqfVsMdqf, RequestOrderMattersOnlyToEcqf)
+{
+    // Same multiset of future requests, two different orders: ECQF's
+    // pick follows whichever queue empties first, MDQF's cannot (its
+    // counters are order-independent).
+    EcqfMma ecqf(2);
+    MdqfMma mdqf(2);
+    ecqf.onReplenishIssued(0, 1);
+    ecqf.onReplenishIssued(1, 1);
+    mdqf.onReplenishIssued(0, 1);
+    mdqf.onReplenishIssued(1, 1);
+
+    auto zero_first = lookaheadOf(8, {0, 0, 1, 1});
+    auto one_first = lookaheadOf(8, {1, 1, 0, 0});
+    EXPECT_EQ(ecqf.select(zero_first, ident), 0u);
+    EXPECT_EQ(ecqf.select(one_first, ident), 1u);
+    // MDQF has no future-order input at all: with the occupancy tie
+    // at +1 its pick is pinned to the first queue, whichever order
+    // the upcoming requests would arrive in.
+    EXPECT_EQ(mdqf.select(4, [](QueueId) { return true; }), 0u);
+}
+
+TEST(EcqfVsMdqf, EmptyLookaheadGivesEcqfNothingToActOn)
+{
+    // With no requests visible, ECQF has no critical queue; MDQF
+    // still replenishes the deficited one.  This is exactly why MDQF
+    // needs the larger Q(b-1)(2 + ln Q) SRAM and ECQF does not.
+    EcqfMma ecqf(2);
+    MdqfMma mdqf(2);
+    ecqf.onRequestLeaving(1);
+    mdqf.onRequestLeaving(1);
+    ShiftRegister<QueueId> empty(6, kInvalidQueue);
+    EXPECT_EQ(ecqf.select(empty, ident), kInvalidQueue);
+    EXPECT_EQ(mdqf.select(4, [](QueueId) { return true; }), 1u);
+}
+
 TEST(TailMma, ThresholdAndRoundRobinFairness)
 {
     TailMma mma(4);

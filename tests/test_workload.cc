@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <vector>
 
 #include "common/logging.hh"
 #include "sim/golden.hh"
@@ -158,6 +160,88 @@ TEST(Workload, RequestingUnavailableCellPanics)
 {
     TraceReplay wl(2, {{kInvalidQueue, 0}});
     EXPECT_THROW(wl.step(0), PanicError);
+}
+
+TEST(Workload, ConsumeCreditWithoutCreditPanics)
+{
+    UniformRandom wl(2, 17, 0.0); // no arrivals ever
+    EXPECT_THROW(wl.consumeCredit(0), PanicError);
+}
+
+// The credit invariant -- a request may never precede its cell's
+// arrival -- must hold for every generator, including under an
+// admission predicate that drops arrivals (a dropped cell must not
+// mint credit).  The per-queue balance of (admitted arrivals -
+// requests) never goes negative.
+TEST(Workload, CreditInvariantHoldsForEveryGeneratorUnderDrops)
+{
+    constexpr unsigned kQueues = 6;
+    std::vector<std::unique_ptr<Workload>> generators;
+    generators.push_back(
+        std::make_unique<RoundRobinWorstCase>(kQueues, 21, 1.0, 8));
+    generators.push_back(
+        std::make_unique<UniformRandom>(kQueues, 22, 0.9));
+    generators.push_back(
+        std::make_unique<BurstyOnOff>(kQueues, 23, 32, 1.0));
+    generators.push_back(
+        std::make_unique<SingleQueue>(kQueues, 24, 1, 4));
+    generators.push_back(std::make_unique<SubsetRoundRobin>(
+        kQueues, 25, std::vector<QueueId>{0, 2, 4}, 0.8));
+    generators.push_back(
+        std::make_unique<PermutedDrain>(kQueues, 26, 8, 1.0));
+    for (auto &wl : generators) {
+        std::vector<std::int64_t> balance(kQueues, 0);
+        // Admission rejects every third slot's arrival.
+        for (Slot t = 0; t < 10000; ++t) {
+            const auto s = wl->step(
+                t, [&](QueueId) { return t % 3 != 0; });
+            if (s.arrival)
+                ++balance[s.arrival->queue];
+            if (s.request != kInvalidQueue) {
+                --balance[s.request];
+                ASSERT_GE(balance[s.request], 0)
+                    << wl->name() << " slot " << t;
+            }
+        }
+        // The generator's own bookkeeping agrees with ours.
+        for (QueueId q = 0; q < kQueues; ++q) {
+            EXPECT_EQ(wl->credit(q),
+                      static_cast<std::uint64_t>(balance[q]))
+                << wl->name() << " queue " << q;
+        }
+    }
+}
+
+TEST(Workload, PermutedDrainEmptiesWholeQueuesInRuns)
+{
+    PermutedDrain wl(8, 31, /*warmup=*/64, 1.0);
+    QueueId prev = kInvalidQueue;
+    std::uint64_t switches = 0, requests = 0;
+    for (Slot t = 0; t < 8000; ++t) {
+        const auto s = wl.step(t);
+        if (s.request == kInvalidQueue)
+            continue;
+        ++requests;
+        if (prev != kInvalidQueue && s.request != prev) {
+            // The drained queue must be empty before moving on.
+            EXPECT_EQ(wl.credit(prev), 0u) << "slot " << t;
+            ++switches;
+        }
+        prev = s.request;
+    }
+    ASSERT_GT(requests, 0u);
+    // Whole-queue drains: far fewer queue switches than requests.
+    EXPECT_LT(switches * 4, requests);
+}
+
+TEST(Workload, PermutedDrainIsDeterministicPerSeed)
+{
+    PermutedDrain a(8, 77, 16), b(8, 77, 16);
+    for (Slot t = 0; t < 2000; ++t) {
+        const auto sa = a.step(t);
+        const auto sb = b.step(t);
+        ASSERT_EQ(sa.request, sb.request) << "slot " << t;
+    }
 }
 
 TEST(Golden, DetectsReorderAndWrongQueue)
