@@ -9,49 +9,88 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_common.hh"
 #include "buffer/hybrid_buffer.hh"
 #include "sim/runner.hh"
-#include "bench_common.hh"
 #include "sim/workload.hh"
 
 using namespace pktbuf;
 using namespace pktbuf::buffer;
 using namespace pktbuf::sim;
 
+namespace
+{
+
+sweep::TaskResult
+runPoint(unsigned b, std::uint64_t slots)
+{
+    const unsigned queues = 16, B = 16, banks = 128;
+    BufferConfig cfg;
+    cfg.params =
+        model::BufferParams{queues, B, b, b == B ? 1u : banks};
+    cfg.measureOnly = true;
+    HybridBuffer buf(cfg);
+    RoundRobinWorstCase wl(queues, 7, 1.0, 64);
+    SimRunner runner(buf, wl);
+    const auto r = runner.run(slots);
+    const auto rep = buf.report();
+
+    sweep::TaskResult res;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%4u %10lu %10ld %10ld %10ld %10ld %10lu\n", b,
+                  static_cast<unsigned long>(buf.pipelineDepth()),
+                  rep.headSramHighWater, rep.tailSramHighWater,
+                  rep.rrHighWater, rep.rrMaxSkips,
+                  static_cast<unsigned long>(r.grants));
+    res.text = line;
+    sweep::Record rec;
+    rec.set("b", b)
+        .set("queues", queues)
+        .set("B", B)
+        .set("banks", b == B ? 1u : banks)
+        .set("slots", slots)
+        .set("pipeline", buf.pipelineDepth())
+        .set("head_sram_hw", rep.headSramHighWater)
+        .set("tail_sram_hw", rep.tailSramHighWater)
+        .set("rr_hw", rep.rrHighWater)
+        .set("rr_max_skips", rep.rrMaxSkips)
+        .set("grants", r.grants);
+    res.records.push_back(std::move(rec));
+    return res;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const auto slots = bench::scaledSlots(
-        80000, bench::smokeMode(argc, argv));
-    const unsigned queues = 16, B = 16, banks = 128;
-    std::printf("Granularity ablation (simulated): Q=%u, B=%u,"
-                " M=%u, worst-case round-robin, %lu slots.\n\n",
-                queues, B, banks,
+    const auto opt = pktbuf::bench::parseArgs(argc, argv);
+    const auto slots = pktbuf::bench::scaledSlots(80000, opt.smoke);
+    std::printf("Granularity ablation (simulated): Q=16, B=16,"
+                " M=128, worst-case round-robin, %lu slots.\n\n",
                 static_cast<unsigned long>(slots));
     std::printf("%4s %10s %10s %10s %10s %10s %10s\n", "b",
-                "pipeline", "hSRAM hw", "tSRAM hw", "RR hw",
-                "skips", "grants");
+                "pipeline", "hSRAM hw", "tSRAM hw", "RR hw", "skips",
+                "grants");
+    std::vector<sweep::Task> tasks;
     for (unsigned b : {16u, 8u, 4u, 2u, 1u}) {
-        BufferConfig cfg;
-        cfg.params = model::BufferParams{
-            queues, B, b, b == B ? 1u : banks};
-        cfg.measureOnly = true;
-        HybridBuffer buf(cfg);
-        RoundRobinWorstCase wl(queues, 7, 1.0, 64);
-        SimRunner runner(buf, wl);
-        const auto r = runner.run(slots);
-        const auto rep = buf.report();
-        std::printf("%4u %10lu %10ld %10ld %10ld %10ld %10lu\n", b,
-                    static_cast<unsigned long>(buf.pipelineDepth()),
-                    rep.headSramHighWater, rep.tailSramHighWater,
-                    rep.rrHighWater, rep.rrMaxSkips,
-                    static_cast<unsigned long>(r.grants));
+        tasks.push_back(sweep::Task{
+            "b" + std::to_string(b),
+            [b, slots](const sweep::SweepContext &) {
+                return runPoint(b, slots);
+            },
+        });
     }
+    const auto rep = pktbuf::bench::runAndPrint(tasks, opt);
     std::printf("\nShape check (paper Fig. 10): SRAM high waters fall"
                 " as b shrinks while the\nreordering state (RR"
                 " occupancy, skips) and the b=1 pipeline grow --"
                 " hence an\ninterior optimum when both are converted"
                 " to area/delay by the technology model.\n");
-    return 0;
+    return pktbuf::bench::finish("ablation_granularity", rep, tasks,
+                                 opt);
 }

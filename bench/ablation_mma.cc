@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.hh"
 #include "buffer/hybrid_buffer.hh"
@@ -50,39 +52,67 @@ measure(MmaKind mma, unsigned queues, unsigned gran,
     return worst;
 }
 
+sweep::TaskResult
+runPoint(unsigned q, std::uint64_t slots)
+{
+    const unsigned b = 8;
+    const auto e = measure(MmaKind::Ecqf, q, b, slots);
+    const auto m = measure(MmaKind::Mdqf, q, b, slots);
+    const double bound =
+        static_cast<double>(model::mdqfSramCells(q, b)) /
+        model::ecqfSramCells(q, b);
+    sweep::TaskResult res;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%4u %4u | %10ld %12lu | %10ld %12lu | %7.2fx\n", q,
+                  b, e,
+                  static_cast<unsigned long>(model::ecqfSramCells(q, b)),
+                  m,
+                  static_cast<unsigned long>(model::mdqfSramCells(q, b)),
+                  bound);
+    res.text = line;
+    sweep::Record rec;
+    rec.set("queues", q)
+        .set("b", b)
+        .set("slots", slots)
+        .set("ecqf_measured", e)
+        .set("ecqf_bound", model::ecqfSramCells(q, b))
+        .set("mdqf_measured", m)
+        .set("mdqf_bound", model::mdqfSramCells(q, b))
+        .set("provisioning_factor", bound);
+    res.records.push_back(std::move(rec));
+    return res;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const auto slots = bench::scaledSlots(
-        60000, bench::smokeMode(argc, argv));
+    const auto opt = pktbuf::bench::parseArgs(argc, argv);
+    const auto slots = pktbuf::bench::scaledSlots(60000, opt.smoke);
     std::printf("MMA ablation: measured head-SRAM high water (cells)"
                 " under adversarial traffic,\nagainst the SRAM each"
                 " algorithm must PROVISION for zero loss on any"
                 " pattern.\n\n");
     std::printf("%4s %4s | %10s %12s | %10s %12s | %8s\n", "Q", "b",
-                "ECQF meas", "Q(b-1)", "MDQF meas",
-                "Q(b-1)(2+lnQ)", "bound");
+                "ECQF meas", "Q(b-1)", "MDQF meas", "Q(b-1)(2+lnQ)",
+                "bound");
+    std::vector<sweep::Task> tasks;
     for (unsigned q : {4u, 8u, 16u, 32u}) {
-        const unsigned b = 8;
-        const auto e = measure(MmaKind::Ecqf, q, b, slots);
-        const auto m = measure(MmaKind::Mdqf, q, b, slots);
-        std::printf("%4u %4u | %10ld %12lu | %10ld %12lu | %7.2fx\n",
-                    q, b, e,
-                    static_cast<unsigned long>(
-                        model::ecqfSramCells(q, b)),
-                    m,
-                    static_cast<unsigned long>(
-                        model::mdqfSramCells(q, b)),
-                    static_cast<double>(model::mdqfSramCells(q, b)) /
-                        model::ecqfSramCells(q, b));
+        tasks.push_back(sweep::Task{
+            "q" + std::to_string(q),
+            [q, slots](const sweep::SweepContext &) {
+                return runPoint(q, slots);
+            },
+        });
     }
+    const auto rep = pktbuf::bench::runAndPrint(tasks, opt);
     std::printf("\nThe 'bound' column is what matters for silicon:"
                 " MDQF must provision (2 + ln Q)x\nmore SRAM to"
                 " survive crafted patterns, even though benign"
                 " traffic (measured) parks\nlittle -- that"
                 " provisioning factor is why ECQF's lookahead is"
                 " worth the pipeline delay.\n");
-    return 0;
+    return pktbuf::bench::finish("ablation_mma", rep, tasks, opt);
 }

@@ -12,7 +12,9 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_common.hh"
 #include "model/dimensioning.hh"
 #include "model/sram_designs.hh"
 
@@ -22,8 +24,8 @@ using namespace pktbuf::model;
 namespace
 {
 
-void
-sweep(unsigned b)
+sweep::TaskResult
+sweepGran(unsigned b)
 {
     const unsigned queues = 512, gran_rads = 32, banks = 256;
     const double slot = slotTimeNs(LineRate::OC3072);
@@ -32,11 +34,17 @@ sweep(unsigned b)
     const auto lmax = ecqfLookaheadSlots(queues, b);
     const auto lat = p.isRads() ? 0 : latencySlots(p);
 
-    std::printf("\n--- b = %u%s (latency register %lu slots) ---\n", b,
-                p.isRads() ? " (RADS)" : "",
-                static_cast<unsigned long>(lat));
-    std::printf("%12s %12s %12s %12s %8s\n", "delay(us)", "h+t(KB)",
-                "best impl", "access(ns)", "area");
+    sweep::TaskResult res;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\n--- b = %u%s (latency register %lu slots) ---\n",
+                  b, p.isRads() ? " (RADS)" : "",
+                  static_cast<unsigned long>(lat));
+    res.text = buf;
+    std::snprintf(buf, sizeof(buf), "%12s %12s %12s %12s %8s\n",
+                  "delay(us)", "h+t(KB)", "best impl", "access(ns)",
+                  "area");
+    res.text += buf;
     for (unsigned i = 2; i <= 12; i += 2) {
         const std::uint64_t la = lmax * i / 12;
         if (la == 0)
@@ -64,26 +72,50 @@ sweep(unsigned b)
                       : h_ll.areaMm2 + t_ll.areaMm2) /
             100.0;
         const double delay_us = (la + lat) * slot / 1000.0;
-        std::printf("%12.2f %12.1f %12s %9.2f %s %8.3f\n", delay_us,
-                    (head.cells + tail_cells) * kCellBytes / 1024.0,
-                    cam_best ? "CAM" : "LL-mux", access,
-                    access <= slot ? "ok " : "SLO", area_cm2);
+        std::snprintf(buf, sizeof(buf),
+                      "%12.2f %12.1f %12s %9.2f %s %8.3f\n", delay_us,
+                      (head.cells + tail_cells) * kCellBytes / 1024.0,
+                      cam_best ? "CAM" : "LL-mux", access,
+                      access <= slot ? "ok " : "SLO", area_cm2);
+        res.text += buf;
+        sweep::Record rec;
+        rec.set("b", b)
+            .set("is_rads", p.isRads())
+            .set("latency_slots", lat)
+            .set("lookahead", la)
+            .set("delay_us", delay_us)
+            .set("sram_kb",
+                 (head.cells + tail_cells) * kCellBytes / 1024.0)
+            .set("best_impl", cam_best ? "cam" : "llmux")
+            .set("access_ns", access)
+            .set("meets_slot", access <= slot)
+            .set("area_cm2", area_cm2);
+        res.records.push_back(std::move(rec));
     }
+    return res;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opt = pktbuf::bench::parseArgs(argc, argv);
     std::printf("Reproduction of Figure 10 (Section 8.3): SRAM area"
                 " and access time vs delay at OC-3072\n"
                 "(Q=512, B=32, M=256; slot 3.2 ns; 'SLO' = misses the"
                 " slot time).\n");
-    for (unsigned b : {32u, 16u, 8u, 4u, 2u, 1u})
-        sweep(b);
+    std::vector<sweep::Task> tasks;
+    for (unsigned b : {32u, 16u, 8u, 4u, 2u, 1u}) {
+        tasks.push_back(sweep::Task{
+            "b" + std::to_string(b),
+            [b](const sweep::SweepContext &) { return sweepGran(b); },
+        });
+    }
+    const auto rep = pktbuf::bench::runAndPrint(tasks, opt);
     std::printf("\nPaper check: b=4 compliant with ~10 us delay and"
                 " well under 1 cm^2 total;\nRADS (b=32) never"
                 " compliant even at >50 us.\n");
-    return 0;
+    return pktbuf::bench::finish("fig10_cfds_tradeoff", rep, tasks,
+                                 opt);
 }

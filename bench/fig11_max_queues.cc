@@ -10,40 +10,81 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_common.hh"
 #include "model/sram_designs.hh"
 
 using namespace pktbuf;
 using namespace pktbuf::model;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opt = pktbuf::bench::parseArgs(argc, argv);
     std::printf("Reproduction of Figure 11 (Section 8.4): maximum"
                 " number of queues at OC-3072.\n\n");
     std::printf("%6s %12s %12s\n", "b", "Qmax RADS", "Qmax CFDS");
-    const unsigned rads =
-        maxQueuesMeetingSlot(32, 32, 1, LineRate::OC3072);
-    unsigned best_q = 0, best_b = 0;
-    for (unsigned b : {32u, 16u, 8u, 4u, 2u, 1u}) {
-        unsigned cfds = 0;
-        if (b == 32) {
-            cfds = rads; // the first column is the RADS point
-        } else {
-            cfds = maxQueuesMeetingSlot(32, b, 256, LineRate::OC3072);
+
+    // Each granularity's search over Q is an independent task; every
+    // task also derives the (cheap, closed-form) RADS reference so
+    // its printed row is self-contained.
+    std::vector<sweep::Task> tasks;
+    const auto addPoint = [&tasks](unsigned b) {
+        tasks.push_back(sweep::Task{
+            "b" + std::to_string(b),
+            [b](const sweep::SweepContext &) {
+                const unsigned rads =
+                    maxQueuesMeetingSlot(32, 32, 1, LineRate::OC3072);
+                const unsigned cfds =
+                    b == 32 ? rads  // the b=32 column is RADS itself
+                            : maxQueuesMeetingSlot(32, b, 256,
+                                                   LineRate::OC3072);
+                sweep::TaskResult r;
+                char buf[96];
+                std::snprintf(buf, sizeof(buf), "%6u %12u %12u\n", b,
+                              rads, cfds);
+                r.text = buf;
+                sweep::Record rec;
+                rec.set("b", b)
+                    .set("qmax_rads", rads)
+                    .set("qmax_cfds", cfds)
+                    .set("gain", static_cast<double>(cfds) / rads);
+                r.records.push_back(std::move(rec));
+                return r;
+            },
+        });
+    };
+    for (unsigned b : {32u, 16u, 8u, 4u, 2u, 1u})
+        addPoint(b);
+
+    const auto rep = pktbuf::bench::runAndPrint(tasks, opt);
+
+    // Summary straight from the task records -- no recomputation.
+    unsigned best_q = 0, best_b = 0, rads = 0;
+    for (const auto &r : rep.results) {
+        for (const auto &rec : r.records) {
+            const auto b =
+                static_cast<unsigned>(rec.find("b")->asUInt());
+            const auto cfds = static_cast<unsigned>(
+                rec.find("qmax_cfds")->asUInt());
+            rads =
+                static_cast<unsigned>(rec.find("qmax_rads")->asUInt());
+            if (cfds > best_q) {
+                best_q = cfds;
+                best_b = b;
+            }
         }
-        if (cfds > best_q) {
-            best_q = cfds;
-            best_b = b;
-        }
-        std::printf("%6u %12u %12u\n", b, rads, cfds);
     }
-    std::printf("\nBest: b=%u with %u queues (%.1fx the RADS"
-                " maximum of %u).\n",
-                best_b, best_q,
-                static_cast<double>(best_q) / rads, rads);
+    if (rads) {
+        std::printf("\nBest: b=%u with %u queues (%.1fx the RADS"
+                    " maximum of %u).\n",
+                    best_b, best_q,
+                    static_cast<double>(best_q) / rads, rads);
+    }
     std::printf("Paper check: several-fold gain over RADS with an"
                 " interior optimum (paper reports up to ~850 physical"
                 " queues, ~6x).\n");
-    return 0;
+    return pktbuf::bench::finish("fig11_max_queues", rep, tasks, opt);
 }

@@ -11,7 +11,10 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_common.hh"
 #include "model/dimensioning.hh"
 #include "model/sram_designs.hh"
 
@@ -21,17 +24,23 @@ using namespace pktbuf::model;
 namespace
 {
 
-void
-sweep(const char *name, unsigned queues, unsigned gran, LineRate rate,
-      unsigned points)
+sweep::TaskResult
+sweepRate(const char *name, unsigned queues, unsigned gran,
+          LineRate rate, unsigned points)
 {
     const double slot = slotTimeNs(rate);
     const auto lmax = ecqfLookaheadSlots(queues, gran);
-    std::printf("\n=== Figure 8: %s (Q=%u, B=%u, slot %.1f ns) ===\n",
-                name, queues, gran, slot);
-    std::printf("%10s %10s %12s %10s %12s %10s\n", "lookahead",
-                "SRAM(KB)", "CAM(ns)", "CAM(cm2)", "LL-mux(ns)",
-                "LL(cm2)");
+    sweep::TaskResult res;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\n=== Figure 8: %s (Q=%u, B=%u, slot %.1f ns)"
+                  " ===\n",
+                  name, queues, gran, slot);
+    res.text = buf;
+    std::snprintf(buf, sizeof(buf), "%10s %10s %12s %10s %12s %10s\n",
+                  "lookahead", "SRAM(KB)", "CAM(ns)", "CAM(cm2)",
+                  "LL-mux(ns)", "LL(cm2)");
+    res.text += buf;
     for (unsigned i = 1; i <= points; ++i) {
         const std::uint64_t la = lmax * i / points;
         if (la == 0)
@@ -41,30 +50,58 @@ sweep(const char *name, unsigned queues, unsigned gran, LineRate rate,
                                         queues, queues);
         const auto ll = sizeSramBuffer(SramDesign::LinkedListTimeMux,
                                        cells, queues, queues);
-        std::printf("%10lu %10.1f %9.2f %s %10.4f %9.2f %s %8.4f\n",
-                    static_cast<unsigned long>(la),
-                    cells * kCellBytes / 1024.0, cam.effectiveNs,
-                    cam.effectiveNs <= slot ? "ok " : "SLO",
-                    cam.areaMm2 / 100.0, ll.effectiveNs,
-                    ll.effectiveNs <= slot ? "ok " : "SLO",
-                    ll.areaMm2 / 100.0);
+        std::snprintf(buf, sizeof(buf),
+                      "%10lu %10.1f %9.2f %s %10.4f %10.2f %s %8.4f\n",
+                      static_cast<unsigned long>(la),
+                      cells * kCellBytes / 1024.0, cam.effectiveNs,
+                      cam.effectiveNs <= slot ? "ok " : "SLO",
+                      cam.areaMm2 / 100.0, ll.effectiveNs,
+                      ll.effectiveNs <= slot ? "ok " : "SLO",
+                      ll.areaMm2 / 100.0);
+        res.text += buf;
+        sweep::Record rec;
+        rec.set("rate", name)
+            .set("queues", queues)
+            .set("B", gran)
+            .set("slot_ns", slot)
+            .set("lookahead", la)
+            .set("sram_kb", cells * kCellBytes / 1024.0)
+            .set("cam_ns", cam.effectiveNs)
+            .set("cam_meets_slot", cam.effectiveNs <= slot)
+            .set("cam_cm2", cam.areaMm2 / 100.0)
+            .set("llmux_ns", ll.effectiveNs)
+            .set("llmux_meets_slot", ll.effectiveNs <= slot)
+            .set("llmux_cm2", ll.areaMm2 / 100.0);
+        res.records.push_back(std::move(rec));
     }
+    return res;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opt = pktbuf::bench::parseArgs(argc, argv);
     std::printf("Reproduction of Figure 8 (Section 7.2): RADS h-SRAM"
                 " access time and area vs lookahead.\n"
                 "'SLO' marks points missing the line-rate slot time."
                 "\n");
-    sweep("OC-768", 128, 8, LineRate::OC768, 12);
-    sweep("OC-3072", 512, 32, LineRate::OC3072, 12);
+    const std::vector<sweep::Task> tasks = {
+        {"oc768",
+         [](const sweep::SweepContext &) {
+             return sweepRate("OC-768", 128, 8, LineRate::OC768, 12);
+         }},
+        {"oc3072",
+         [](const sweep::SweepContext &) {
+             return sweepRate("OC-3072", 512, 32, LineRate::OC3072,
+                              12);
+         }},
+    };
+    const auto rep = pktbuf::bench::runAndPrint(tasks, opt);
     std::printf(
         "\nPaper check: at OC-768 every point must meet 12.8 ns"
         " (RADS suffices);\nat OC-3072 no point may meet 3.2 ns"
         " (motivating CFDS).\n");
-    return 0;
+    return pktbuf::bench::finish("fig8_rads_sram", rep, tasks, opt);
 }

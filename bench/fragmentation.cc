@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hh"
 #include "buffer/hybrid_buffer.hh"
@@ -54,38 +55,85 @@ fillOneQueue(bool renaming, std::uint64_t dram_cells)
             rep.arrivals};
 }
 
+sweep::TaskResult
+runScheme(bool renaming, std::uint64_t dram)
+{
+    const auto o = fillOneQueue(renaming, dram);
+    sweep::TaskResult res;
+    char line[160];
+    if (renaming) {
+        std::snprintf(line, sizeof(line),
+                      "%-22s %9lu (%2.0f%%) %10lu %10lu\n",
+                      "queue renaming",
+                      static_cast<unsigned long>(o.resident),
+                      100.0 * o.resident / dram,
+                      static_cast<unsigned long>(o.drops),
+                      static_cast<unsigned long>(o.renames));
+    } else {
+        std::snprintf(line, sizeof(line),
+                      "%-22s %9lu (%2.0f%%) %10lu %10s\n",
+                      "static assignment",
+                      static_cast<unsigned long>(o.resident),
+                      100.0 * o.resident / dram,
+                      static_cast<unsigned long>(o.drops), "-");
+    }
+    res.text = line;
+    sweep::Record rec;
+    rec.set("scheme", renaming ? "renaming" : "static")
+        .set("dram_cells", dram)
+        .set("resident", o.resident)
+        .set("utilization", static_cast<double>(o.resident) / dram)
+        .set("drops", o.drops)
+        .set("renames", o.renames)
+        .set("arrivals", o.arrivals);
+    res.records.push_back(std::move(rec));
+    return res;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    const auto opt = pktbuf::bench::parseArgs(argc, argv);
     // Smoke mode shrinks the DRAM (and with it the fill time), not
     // the slot count: the experiment must still fill to saturation.
-    const std::uint64_t dram =
-        bench::smokeMode(argc, argv) ? 256 : 1024;
+    const std::uint64_t dram = opt.smoke ? 256 : 1024;
     std::printf("Section 6 reproduction: DRAM utilization when one"
                 " logical queue takes all traffic\n(DRAM %lu cells in"
                 " 8 groups of %lu).\n\n",
                 static_cast<unsigned long>(dram),
                 static_cast<unsigned long>(dram / 8));
-
-    const auto st = fillOneQueue(false, dram);
-    const auto rn = fillOneQueue(true, dram);
-
     std::printf("%-22s %12s %10s %10s\n", "scheme", "DRAM resident",
                 "drops", "renames");
-    std::printf("%-22s %9lu (%2.0f%%) %10lu %10s\n",
-                "static assignment", st.resident,
-                100.0 * st.resident / dram, st.drops, "-");
-    std::printf("%-22s %9lu (%2.0f%%) %10lu %10lu\n", "queue renaming",
-                rn.resident, 100.0 * rn.resident / dram, rn.drops,
-                rn.renames);
 
+    const std::vector<sweep::Task> tasks = {
+        {"static",
+         [dram](const sweep::SweepContext &) {
+             return runScheme(false, dram);
+         }},
+        {"renaming",
+         [dram](const sweep::SweepContext &) {
+             return runScheme(true, dram);
+         }},
+    };
+    const auto rep = pktbuf::bench::runAndPrint(tasks, opt);
+
+    // Shape check straight from the task records (tasks[0] = static,
+    // tasks[1] = renaming; aggregation is positional).
+    const auto resident = [&rep](std::size_t i) -> std::uint64_t {
+        if (rep.results[i].records.empty())
+            return 0;
+        const auto *v = rep.results[i].records[0].find("resident");
+        return v ? v->asUInt() : 0;
+    };
     std::printf("\nPaper check: static assignment strands the queue"
                 " at ~1/G = 12.5%% of the DRAM;\nrenaming lets it"
                 " occupy (nearly) the whole DRAM before dropping.\n");
-    const bool shape = st.resident <= dram / 8 &&
-                       rn.resident > 5 * (dram / 8);
+    const bool shape = resident(0) <= dram / 8 &&
+                       resident(1) > 5 * (dram / 8);
     std::printf("Shape %s.\n", shape ? "HOLDS" : "VIOLATED");
-    return shape ? 0 : 1;
+    const int rc =
+        pktbuf::bench::finish("fragmentation", rep, tasks, opt);
+    return shape ? rc : 1;
 }

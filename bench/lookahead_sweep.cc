@@ -12,6 +12,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hh"
 #include "buffer/hybrid_buffer.hh"
@@ -22,11 +24,54 @@ using namespace pktbuf;
 using namespace pktbuf::buffer;
 using namespace pktbuf::sim;
 
+namespace
+{
+
+sweep::TaskResult
+runPoint(std::uint64_t la, std::uint64_t slots)
+{
+    const unsigned queues = 16, B = 8;
+    BufferConfig cfg;
+    cfg.params = model::BufferParams{queues, B, B, 1};
+    cfg.lookahead = la;
+    cfg.measureOnly = true;
+    HybridBuffer buf(cfg);
+    RoundRobinWorstCase wl(queues, 11, 1.0, 64);
+    SimRunner runner(buf, wl);
+    bool missed = false;
+    try {
+        runner.run(slots);
+    } catch (const std::exception &) {
+        missed = true;
+    }
+    sweep::TaskResult res;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%10lu %12ld %14lu %14s\n",
+                  static_cast<unsigned long>(la),
+                  buf.report().headSramHighWater,
+                  static_cast<unsigned long>(
+                      model::radsSramCells(la, queues, B)),
+                  missed ? "MISSED" : "0");
+    res.text = line;
+    sweep::Record rec;
+    rec.set("lookahead", la)
+        .set("queues", queues)
+        .set("B", B)
+        .set("slots", slots)
+        .set("head_sram_hw", buf.report().headSramHighWater)
+        .set("model_cells", model::radsSramCells(la, queues, B))
+        .set("missed", missed);
+    res.records.push_back(std::move(rec));
+    return res;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const auto slots = bench::scaledSlots(
-        60000, bench::smokeMode(argc, argv));
+    const auto opt = pktbuf::bench::parseArgs(argc, argv);
+    const auto slots = pktbuf::bench::scaledSlots(60000, opt.smoke);
     const unsigned queues = 16, B = 8;
     const auto lmax = model::ecqfLookaheadSlots(queues, B);
     std::printf("Lookahead ablation (simulated RADS): Q=%u, B=%u,"
@@ -34,30 +79,19 @@ main(int argc, char **argv)
                 queues, B);
     std::printf("%10s %12s %14s %14s\n", "lookahead", "hSRAM hw",
                 "model cells", "misses");
+    std::vector<sweep::Task> tasks;
     for (unsigned i = 2; i <= 12; i += 2) {
         const std::uint64_t la = lmax * i / 12;
         if (la == 0)
             continue;
-        BufferConfig cfg;
-        cfg.params = model::BufferParams{queues, B, B, 1};
-        cfg.lookahead = la;
-        cfg.measureOnly = true;
-        HybridBuffer buf(cfg);
-        RoundRobinWorstCase wl(queues, 11, 1.0, 64);
-        SimRunner runner(buf, wl);
-        bool missed = false;
-        try {
-            runner.run(slots);
-        } catch (const std::exception &) {
-            missed = true;
-        }
-        std::printf("%10lu %12ld %14lu %14s\n",
-                    static_cast<unsigned long>(la),
-                    buf.report().headSramHighWater,
-                    static_cast<unsigned long>(
-                        model::radsSramCells(la, queues, B)),
-                    missed ? "MISSED" : "0");
+        tasks.push_back(sweep::Task{
+            "la" + std::to_string(la),
+            [la, slots](const sweep::SweepContext &) {
+                return runPoint(la, slots);
+            },
+        });
     }
+    const auto rep = pktbuf::bench::runAndPrint(tasks, opt);
     std::printf("\nReading: the 'model cells' column is the"
                 " worst-case *guarantee* requirement, which\nfalls"
                 " toward Q(B-1) = %lu as the lookahead grows; the"
@@ -67,5 +101,5 @@ main(int argc, char **argv)
                 " guarantee).  Zero misses at every point.\n",
                 static_cast<unsigned long>(
                     model::ecqfSramCells(queues, B)));
-    return 0;
+    return pktbuf::bench::finish("lookahead_sweep", rep, tasks, opt);
 }

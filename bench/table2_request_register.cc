@@ -8,7 +8,10 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_common.hh"
 #include "model/dimensioning.hh"
 #include "model/issue_queue.hh"
 
@@ -18,44 +21,80 @@ using namespace pktbuf::model;
 namespace
 {
 
-void
+sweep::TaskResult
 row(const char *name, unsigned queues, unsigned gran_rads, unsigned b,
     LineRate rate)
 {
+    sweep::TaskResult res;
     BufferParams p{queues, gran_rads, b, 256};
     if (b > gran_rads || gran_rads % b != 0)
-        return;
+        return res;
     const auto r = rrSize(p);
     const double budget = schedBudgetNs(p, rate);
+    char buf[192];
+    sweep::Record rec;
+    rec.set("rate", name).set("b", b).set("rr_size", r);
     if (b == gran_rads) {
-        std::printf("%-8s b=%-3u RR=%-5lu sched: unneeded (RADS)\n",
-                    name, b, static_cast<unsigned long>(r));
-        return;
+        std::snprintf(buf, sizeof(buf),
+                      "%-8s b=%-3u RR=%-5lu sched: unneeded (RADS)\n",
+                      name, b, static_cast<unsigned long>(r));
+        res.text = buf;
+        rec.set("is_rads", true);
+    } else {
+        const double t = rrSchedTimeNs(r);
+        std::snprintf(buf, sizeof(buf),
+                      "%-8s b=%-3u RR=%-5lu budget=%6.1f ns "
+                      " model=%7.2f ns  area=%.4f cm2  [%s]\n",
+                      name, b, static_cast<unsigned long>(r), budget,
+                      t, rrSchedAreaCm2(r),
+                      toString(classifySched(r, budget)).c_str());
+        res.text = buf;
+        rec.set("is_rads", false)
+            .set("budget_ns", budget)
+            .set("sched_ns", t)
+            .set("sched_area_cm2", rrSchedAreaCm2(r))
+            .set("verdict", toString(classifySched(r, budget)));
     }
-    const double t = rrSchedTimeNs(r);
-    std::printf("%-8s b=%-3u RR=%-5lu budget=%6.1f ns  model=%7.2f"
-                " ns  area=%.4f cm2  [%s]\n",
-                name, b, static_cast<unsigned long>(r), budget, t,
-                rrSchedAreaCm2(r),
-                toString(classifySched(r, budget)).c_str());
+    res.records.push_back(std::move(rec));
+    return res;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opt = pktbuf::bench::parseArgs(argc, argv);
     std::printf("Reproduction of Table 2 (Section 8.1): Requests"
                 " Register size and scheduling time.\n"
                 "(Anchor: Alpha 21264 20-entry issue queue, ~1 ns at"
                 " 0.35 um, 0.05 cm^2 [14].)\n\n");
+    std::vector<sweep::Task> tasks;
+    // The blank separator between the two rate sections rides on the
+    // first OC-3072 task: aggregation is in task order, so it lands
+    // exactly where the old serial printf put it.
+    const auto add = [&tasks](const char *name, unsigned queues,
+                              unsigned gran_rads, unsigned b,
+                              LineRate rate, bool sep = false) {
+        tasks.push_back(sweep::Task{
+            std::string(name) + "_b" + std::to_string(b),
+            [=](const sweep::SweepContext &) {
+                auto r = row(name, queues, gran_rads, b, rate);
+                if (sep)
+                    r.text.insert(0, "\n");
+                return r;
+            },
+        });
+    };
     for (unsigned b : {32u, 16u, 8u, 4u, 2u, 1u})
-        row("OC-768", 128, 8, b, LineRate::OC768);
-    std::printf("\n");
+        add("OC-768", 128, 8, b, LineRate::OC768);
     for (unsigned b : {32u, 16u, 8u, 4u, 2u, 1u})
-        row("OC-3072", 512, 32, b, LineRate::OC3072);
+        add("OC-3072", 512, 32, b, LineRate::OC3072, b == 32);
+
+    const auto rep = pktbuf::bench::runAndPrint(tasks, opt);
     std::printf("\nPaper values (OC-3072): RR = 0, 8, 64, 256, 1024,"
                 " 4096 for b = 32..1;\nsched times 51.2, 25.6, 12.8,"
                 " 6.4, 3.2 ns.\n");
-    return 0;
+    return pktbuf::bench::finish("table2_request_register", rep,
+                                 tasks, opt);
 }

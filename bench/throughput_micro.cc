@@ -1,12 +1,26 @@
 /**
  * @file
- * google-benchmark microbenchmark of whole-buffer simulation
- * throughput (slots per second) for representative RADS and CFDS
- * configurations, with and without the golden checker.
+ * Whole-buffer simulation throughput (slots per second) for
+ * representative RADS and CFDS configurations, with and without the
+ * golden checker -- the repo's perf baseline harness.
+ *
+ * Formerly a Google-Benchmark binary; now a plain harness on the
+ * sweep engine so it always builds, shares the uniform
+ * --smoke/--jobs/--json flags, and emits the BENCH_throughput.json
+ * baseline that hot-path optimizations are judged against.
+ *
+ * Timing note: wall-clock numbers only make sense with --jobs 1 (the
+ * default here); sharding timing runs across threads measures
+ * contention, not the simulator.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "bench_common.hh"
 #include "buffer/hybrid_buffer.hh"
 #include "sim/runner.hh"
 #include "sim/workload.hh"
@@ -18,52 +32,116 @@ using namespace pktbuf::sim;
 namespace
 {
 
-void
-BM_RadsUniform(benchmark::State &state)
+enum class Wl
 {
-    const unsigned queues = static_cast<unsigned>(state.range(0));
-    BufferConfig cfg;
-    cfg.params = model::BufferParams{queues, 8, 8, 1};
-    HybridBuffer buf(cfg);
-    UniformRandom wl(queues, 11, 0.95);
-    SimRunner runner(buf, wl, /*check=*/false);
-    for (auto _ : state)
-        runner.run(1024);
-    state.SetItemsProcessed(state.iterations() * 1024);
-}
+    Uniform,
+    WorstCase,
+};
 
-void
-BM_CfdsUniform(benchmark::State &state)
+struct Config
 {
-    const unsigned queues = static_cast<unsigned>(state.range(0));
-    BufferConfig cfg;
-    cfg.params = model::BufferParams{queues, 8, 2, 32};
-    HybridBuffer buf(cfg);
-    UniformRandom wl(queues, 11, 0.95);
-    SimRunner runner(buf, wl, /*check=*/false);
-    for (auto _ : state)
-        runner.run(1024);
-    state.SetItemsProcessed(state.iterations() * 1024);
-}
+    const char *name;
+    unsigned queues;
+    unsigned granRads;  // B
+    unsigned gran;      // b
+    unsigned banks;     // M
+    Wl wl;
+    bool check;
+};
 
-void
-BM_CfdsWorstCaseChecked(benchmark::State &state)
+constexpr Config kConfigs[] = {
+    {"rads_uniform_q8", 8, 8, 8, 1, Wl::Uniform, false},
+    {"rads_uniform_q64", 64, 8, 8, 1, Wl::Uniform, false},
+    {"cfds_uniform_q8", 8, 8, 2, 32, Wl::Uniform, false},
+    {"cfds_uniform_q64", 64, 8, 2, 32, Wl::Uniform, false},
+    {"cfds_worstcase_checked_q8", 8, 8, 2, 32, Wl::WorstCase, true},
+    {"cfds_worstcase_checked_q64", 64, 8, 2, 32, Wl::WorstCase, true},
+    {"rads_worstcase_checked_q64", 64, 8, 8, 1, Wl::WorstCase, true},
+};
+
+sweep::TaskResult
+measure(const Config &c, std::uint64_t min_slots)
 {
-    const unsigned queues = static_cast<unsigned>(state.range(0));
     BufferConfig cfg;
-    cfg.params = model::BufferParams{queues, 8, 2, 32};
+    cfg.params = model::BufferParams{c.queues, c.granRads, c.gran,
+                                     c.banks};
     HybridBuffer buf(cfg);
-    RoundRobinWorstCase wl(queues, 3, 1.0, 64);
-    SimRunner runner(buf, wl, /*check=*/true);
-    for (auto _ : state)
-        runner.run(1024);
-    state.SetItemsProcessed(state.iterations() * 1024);
+    std::unique_ptr<Workload> wl;
+    if (c.wl == Wl::Uniform)
+        wl = std::make_unique<UniformRandom>(c.queues, 11, 0.95);
+    else
+        wl = std::make_unique<RoundRobinWorstCase>(c.queues, 3, 1.0,
+                                                   64);
+    SimRunner runner(buf, *wl, c.check);
+
+    // Warm the pipeline and caches out of the measured window.
+    runner.run(4096);
+
+    constexpr std::uint64_t kChunk = 16384;
+    std::uint64_t slots = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (slots < min_slots) {
+        runner.run(kChunk);
+        slots += kChunk;
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    const auto rep = buf.report();
+    const double slots_per_sec = slots / secs;
+
+    sweep::TaskResult r;
+    char buf2[192];
+    std::snprintf(buf2, sizeof(buf2),
+                  "%-28s Q=%-3u B=%-2u b=%-2u M=%-3u %-9s chk=%d"
+                  " %10.2f Mslots/s\n",
+                  c.name, c.queues, c.granRads, c.gran, c.banks,
+                  c.wl == Wl::Uniform ? "uniform" : "worstcase",
+                  c.check ? 1 : 0, slots_per_sec / 1e6);
+    r.text = buf2;
+    sweep::Record rec;
+    rec.set("name", c.name)
+        .set("queues", c.queues)
+        .set("B", c.granRads)
+        .set("b", c.gran)
+        .set("banks", c.banks)
+        .set("workload",
+             c.wl == Wl::Uniform ? "uniform" : "worstcase")
+        .set("checker", c.check)
+        .set("slots", slots)
+        .set("seconds", secs)
+        .set("slots_per_sec", slots_per_sec)
+        .set("grants", rep.grants);
+    r.records.push_back(std::move(rec));
+    return r;
 }
 
 } // namespace
 
-BENCHMARK(BM_RadsUniform)->Arg(8)->Arg(64);
-BENCHMARK(BM_CfdsUniform)->Arg(8)->Arg(64);
-BENCHMARK(BM_CfdsWorstCaseChecked)->Arg(8)->Arg(64);
+int
+main(int argc, char **argv)
+{
+    const auto opt = pktbuf::bench::parseArgs(argc, argv);
+    const std::uint64_t min_slots = opt.smoke ? 1u << 15 : 1u << 21;
 
-BENCHMARK_MAIN();
+    std::vector<sweep::Task> tasks;
+    for (const auto &c : kConfigs) {
+        tasks.push_back(sweep::Task{
+            c.name,
+            [&c, min_slots](const sweep::SweepContext &) {
+                return measure(c, min_slots);
+            },
+        });
+    }
+
+    std::printf("Simulation throughput (steady state, %s budget;"
+                " timing is wall-clock,\nrun with --jobs 1 for"
+                " comparable numbers).\n\n",
+                opt.smoke ? "smoke" : "full");
+    const auto rep = pktbuf::bench::runAndPrint(tasks, opt);
+    sweep::Record meta;
+    meta.set("min_slots", min_slots);
+    return pktbuf::bench::finish("throughput_micro", rep, tasks, opt,
+                                 std::move(meta));
+}

@@ -12,11 +12,14 @@
  *      formulas of Sections 3 and 5.4.
  *
  * Each row is one (architecture, configuration, pattern) pair run
- * for 60k slots with the golden FIFO checker enabled.
+ * for 60k slots with the golden FIFO checker enabled.  Rows are
+ * independent sweep tasks, so --jobs N shards the whole table.
  */
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.hh"
 #include "buffer/hybrid_buffer.hh"
@@ -46,7 +49,7 @@ makeWorkload(int pat, unsigned queues, std::uint64_t seed)
 
 const char *kPatName[] = {"worst-rr", "uniform", "bursty"};
 
-void
+sweep::TaskResult
 runOne(unsigned queues, unsigned B, unsigned b, unsigned banks,
        int pat, std::uint64_t slots)
 {
@@ -57,13 +60,14 @@ runOne(unsigned queues, unsigned B, unsigned b, unsigned banks,
     auto wl = makeWorkload(pat, queues, 12345);
     SimRunner runner(buf, *wl);
     bool ok = true;
+    std::string violation;
     std::uint64_t grants = 0;
     try {
         const auto r = runner.run(slots);
         grants = r.grants;
     } catch (const std::exception &e) {
         ok = false;
-        std::printf("  VIOLATION: %s\n", e.what());
+        violation = e.what();
     }
     const auto rep = buf.report();
 
@@ -72,26 +76,55 @@ runOne(unsigned queues, unsigned B, unsigned b, unsigned banks,
     enforced.measureOnly = false;
     HybridBuffer sized(enforced);
 
-    const auto rr_ref = cfg.params.isRads()
-                            ? 0
-                            : model::rrSize(cfg.params) + 4;
+    const auto rr_ref =
+        cfg.params.isRads() ? 0 : model::rrSize(cfg.params) + 4;
     const auto skip_ref =
-        cfg.params.isRads()
-            ? 0
-            : 2 * model::dsaMaxSkips(cfg.params) + 2;
-    std::printf("%-4s Q=%-3u B=%-2u b=%-2u M=%-3u %-8s grants=%-6lu"
-                " miss=%s  rrHW=%ld/%lu skips=%ld/%lu"
-                "  hSRAM=%ld/%lu tSRAM=%ld/%lu\n",
-                cfg.params.isRads() ? "RADS" : "CFDS", queues, B, b,
-                banks, kPatName[pat],
-                static_cast<unsigned long>(grants), ok ? "0" : "!!",
-                rep.rrHighWater, static_cast<unsigned long>(rr_ref),
-                rep.rrMaxSkips, static_cast<unsigned long>(skip_ref),
-                rep.headSramHighWater,
-                static_cast<unsigned long>(sized.headSram().capacity()),
-                rep.tailSramHighWater,
-                static_cast<unsigned long>(
-                    sized.tailSram().capacity()));
+        cfg.params.isRads() ? 0
+                            : 2 * model::dsaMaxSkips(cfg.params) + 2;
+    sweep::TaskResult res;
+    char line[256];
+    std::snprintf(
+        line, sizeof(line),
+        "%-4s Q=%-3u B=%-2u b=%-2u M=%-3u %-8s grants=%-6lu"
+        " miss=%s  rrHW=%ld/%lu skips=%ld/%lu"
+        "  hSRAM=%ld/%lu tSRAM=%ld/%lu\n",
+        cfg.params.isRads() ? "RADS" : "CFDS", queues, B, b, banks,
+        kPatName[pat], static_cast<unsigned long>(grants),
+        ok ? "0" : "!!", rep.rrHighWater,
+        static_cast<unsigned long>(rr_ref), rep.rrMaxSkips,
+        static_cast<unsigned long>(skip_ref), rep.headSramHighWater,
+        static_cast<unsigned long>(sized.headSram().capacity()),
+        rep.tailSramHighWater,
+        static_cast<unsigned long>(sized.tailSram().capacity()));
+    res.text = line;
+    if (!ok)
+        res.text += "  VIOLATION: " + violation + "\n";
+
+    sweep::Record rec;
+    rec.set("arch", cfg.params.isRads() ? "rads" : "cfds")
+        .set("queues", queues)
+        .set("B", B)
+        .set("b", b)
+        .set("banks", banks)
+        .set("pattern", kPatName[pat])
+        .set("slots", slots)
+        .set("grants", grants)
+        .set("miss_free", ok)
+        .set("rr_hw", rep.rrHighWater)
+        .set("rr_bound", rr_ref)
+        .set("rr_max_skips", rep.rrMaxSkips)
+        .set("skip_bound", skip_ref)
+        .set("head_sram_hw", rep.headSramHighWater)
+        .set("head_sram_cap", sized.headSram().capacity())
+        .set("tail_sram_hw", rep.tailSramHighWater)
+        .set("tail_sram_cap", sized.tailSram().capacity());
+    if (!ok)
+        rec.set("violation", violation);
+    res.records.push_back(std::move(rec));
+    res.ok = ok;
+    if (!ok)
+        res.error = "worst-case claim violated: " + violation;
+    return res;
 }
 
 } // namespace
@@ -99,21 +132,39 @@ runOne(unsigned queues, unsigned B, unsigned b, unsigned banks,
 int
 main(int argc, char **argv)
 {
-    const auto slots = bench::scaledSlots(
-        60000, bench::smokeMode(argc, argv));
+    const auto opt = pktbuf::bench::parseArgs(argc, argv);
+    const auto slots = pktbuf::bench::scaledSlots(60000, opt.smoke);
     std::printf("Empirical validation of the worst-case guarantees"
                 " (measured/bound; miss must be 0).\n\n");
+    struct Row
+    {
+        unsigned q, B, b, m;
+    };
+    const Row rows[] = {
+        {8, 8, 8, 1},    // RADS
+        {16, 8, 8, 1},   // RADS, more queues
+        {8, 8, 4, 16},   // CFDS, B/b = 2
+        {8, 8, 2, 16},   // CFDS, B/b = 4
+        {8, 8, 1, 32},   // CFDS, per-cell
+        {16, 8, 2, 32},  // CFDS, wider
+        {16, 16, 4, 64}, // CFDS, deeper timing
+    };
+    std::vector<sweep::Task> tasks;
     for (int pat = 0; pat < 3; ++pat) {
-        runOne(8, 8, 8, 1, pat, slots);    // RADS
-        runOne(16, 8, 8, 1, pat, slots);   // RADS, more queues
-        runOne(8, 8, 4, 16, pat, slots);   // CFDS, B/b = 2
-        runOne(8, 8, 2, 16, pat, slots);   // CFDS, B/b = 4
-        runOne(8, 8, 1, 32, pat, slots);   // CFDS, per-cell
-        runOne(16, 8, 2, 32, pat, slots);  // CFDS, wider
-        runOne(16, 16, 4, 64, pat, slots); // CFDS, deeper timing
+        for (const auto &r : rows) {
+            tasks.push_back(sweep::Task{
+                std::string(kPatName[pat]) + "_q" +
+                    std::to_string(r.q) + "_B" + std::to_string(r.B) +
+                    "_b" + std::to_string(r.b),
+                [r, pat, slots](const sweep::SweepContext &) {
+                    return runOne(r.q, r.B, r.b, r.m, pat, slots);
+                },
+            });
+        }
     }
+    const auto rep = pktbuf::bench::runAndPrint(tasks, opt);
     std::printf("\nAll rows completing with miss=0 and measurements"
                 " within bounds reproduce the paper's zero-miss and"
                 " bounded-reordering claims.\n");
-    return 0;
+    return pktbuf::bench::finish("validation", rep, tasks, opt);
 }

@@ -2,12 +2,25 @@
  * @file
  * CLI front end of the scenario-matrix differential harness: run the
  * full (or --smoke) sweep of buffer variant x workload x granularity
- * x queue count, print one row per leg, and exit non-zero if any leg
- * violates the golden model.  Failures always print the seed so the
- * leg can be replayed bit-for-bit.
+ * x queue count through the parallel sweep engine, print one row per
+ * leg, and exit non-zero if any leg violates the golden model.
+ * Failures always print the seed so the leg can be replayed
+ * bit-for-bit.
  *
  *   scenario_matrix [--smoke] [--list] [--filter SUBSTR]
- *                   [--seed N] [--slots N]
+ *                   [--seed N] [--seed-exact N] [--slots N]
+ *                   [--jobs N] [--json PATH] [--csv PATH]
+ *
+ * --seed N reseeds leg i with splitmix(N, i) (decorrelated sweep
+ * from one number); --seed-exact N gives every selected leg exactly
+ * seed N -- the replay knob: a failure log names the leg and its
+ * actual seed, and `--filter LEG --seed-exact SEED` reruns that leg
+ * bit-for-bit regardless of its position in the matrix.
+ *
+ * Output (stdout and the JSON/CSV artifacts) is byte-identical for
+ * any --jobs value: legs run in parallel, but results aggregate in
+ * leg order and each leg's randomness is fixed by its own seed.
+ * Timing is printed to stderr only, for the same reason.
  */
 
 #include <cstdio>
@@ -17,6 +30,9 @@
 #include <vector>
 
 #include "sim/scenario.hh"
+#include "sweep/emit.hh"
+#include "sweep/scenario_sweep.hh"
+#include "sweep/sweep.hh"
 
 using namespace pktbuf;
 using namespace pktbuf::sim;
@@ -30,13 +46,25 @@ usage(const char *prog)
     std::fprintf(stderr,
                  "usage: %s [--smoke] [--list] [--filter SUBSTR]"
                  " [--seed N] [--slots N]\n"
+                 "          [--jobs N] [--json PATH] [--csv PATH]\n"
                  "  --smoke    reduced sweep for CI (fewer legs and"
                  " slots)\n"
                  "  --list     print the legs without running them\n"
                  "  --filter   run only legs whose name contains"
                  " SUBSTR\n"
-                 "  --seed     override every leg's seed with N\n"
-                 "  --slots    override every leg's slot count\n",
+                 "  --seed     master seed: leg i runs with"
+                 " splitmix(N, i)\n"
+                 "  --seed-exact  give every selected leg exactly"
+                 " seed N\n"
+                 "             (replays a failure from its logged"
+                 " seed)\n"
+                 "  --slots    override every leg's slot count\n"
+                 "  --jobs     worker threads (0 = all cores);"
+                 " output is\n"
+                 "             byte-identical for any value\n"
+                 "  --json     write result records as JSON"
+                 " ('-' = stdout)\n"
+                 "  --csv      write result records as CSV\n",
                  prog);
 }
 
@@ -50,8 +78,13 @@ main(int argc, char **argv)
     std::string filter;
     std::uint64_t seed_override = 0;
     bool have_seed = false;
+    std::uint64_t seed_exact = 0;
+    bool have_seed_exact = false;
     std::uint64_t slots_override = 0;
     bool have_slots = false;
+    unsigned jobs = 1;
+    std::string json_path;
+    std::string csv_path;
 
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--smoke")) {
@@ -63,13 +96,31 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
             seed_override = std::strtoull(argv[++i], nullptr, 0);
             have_seed = true;
+        } else if (!std::strcmp(argv[i], "--seed-exact") &&
+                   i + 1 < argc) {
+            seed_exact = std::strtoull(argv[++i], nullptr, 0);
+            have_seed_exact = true;
         } else if (!std::strcmp(argv[i], "--slots") && i + 1 < argc) {
             slots_override = std::strtoull(argv[++i], nullptr, 0);
             have_slots = true;
+        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc) {
+            csv_path = argv[++i];
         } else {
             usage(argv[0]);
             return 2;
         }
+    }
+
+    if (have_seed && have_seed_exact) {
+        std::fprintf(stderr,
+                     "%s: --seed and --seed-exact are exclusive\n",
+                     argv[0]);
+        return 2;
     }
 
     auto matrix = smoke ? smokeMatrix() : defaultMatrix();
@@ -79,10 +130,10 @@ main(int argc, char **argv)
             s.name().find(filter) == std::string::npos) {
             continue;
         }
-        if (have_seed)
-            s.seed = seed_override;
         if (have_slots)
             s.slots = slots_override;
+        if (have_seed_exact)
+            s.seed = seed_exact;
         selected.push_back(s);
     }
 
@@ -100,26 +151,32 @@ main(int argc, char **argv)
         return 0;
     }
 
-    std::printf("%-40s %10s %10s %10s %8s %8s  %s\n", "leg",
-                "arrivals", "granted", "drained", "drops", "renames",
-                "status");
-    unsigned failed = 0;
-    for (const auto &s : selected) {
-        const auto out = runScenario(s);
-        std::printf("%-40s %10llu %10llu %10llu %8llu %8llu  %s\n",
-                    s.name().c_str(),
-                    static_cast<unsigned long long>(out.run.arrivals),
-                    static_cast<unsigned long long>(out.verified),
-                    static_cast<unsigned long long>(out.drained),
-                    static_cast<unsigned long long>(out.run.drops),
-                    static_cast<unsigned long long>(out.report.renames),
-                    out.passed ? "ok" : "FAIL");
-        if (!out.passed) {
-            ++failed;
-            std::printf("  %s\n", out.failure.c_str());
-        }
-    }
-    std::printf("\n%zu legs, %u failed%s\n", selected.size(), failed,
-                smoke ? " (smoke sweep)" : "");
-    return failed == 0 ? 0 : 1;
+    auto tasks = sweep::makeScenarioTasks(selected,
+                                          /*deriveSeeds=*/have_seed);
+    sweep::SweepOptions so;
+    so.jobs = jobs;
+    if (have_seed)
+        so.masterSeed = seed_override;
+
+    std::fputs(sweep::scenarioTableHeader().c_str(), stdout);
+    const auto rep = sweep::runSweep(tasks, so);
+    for (const auto &r : rep.results)
+        std::fputs(r.text.c_str(), stdout);
+    std::printf("\n%zu legs, %zu failed%s\n", selected.size(),
+                rep.failed, smoke ? " (smoke sweep)" : "");
+    // Timing never goes to stdout: stdout must stay byte-identical
+    // across --jobs values.
+    std::fprintf(stderr, "[%zu legs, %u jobs, %.2fs]\n",
+                 selected.size(), rep.jobs, rep.wallSeconds);
+
+    sweep::Record meta;
+    meta.set("smoke", smoke).set("legs", selected.size());
+    if (have_seed)
+        meta.set("master_seed", seed_override);
+    if (have_seed_exact)
+        meta.set("seed_exact", seed_exact);
+    sweep::emitArtifacts(rep, tasks,
+                         sweep::EmitMeta{"scenario_matrix", meta},
+                         json_path, csv_path);
+    return rep.failed == 0 ? 0 : 1;
 }

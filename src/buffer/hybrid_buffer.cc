@@ -221,7 +221,7 @@ HybridBuffer::processCompletions(Slot now)
         if (trace)
             *trace << "t" << now << " complete read q" << c.phys
                    << " seq " << c.replenishSeq << "\n";
-        head_.insertBlock(c.phys, c.replenishSeq, c.cells);
+        head_.insertBlock(c.phys, c.replenishSeq, std::move(c.cells));
         completions_.pop_front();
     }
 }
@@ -237,16 +237,32 @@ HybridBuffer::headMmaDecide(Slot now)
     // interval keeps each DRAM replenish worth a full b cells, the
     // premise of the ECQF sizing theorem.
     bool dram_issued = false;
+    if (cfg_.mma == MmaKind::Ecqf) {
+        // Single pass: every critical queue of the interval is
+        // replenished during one walk of the lookahead (the scan
+        // credits each replenish into its scratch state), instead of
+        // restarting an O(depth) select after every decision.
+        hmma_.scan(
+            look_, [](const PipeEntry &e) { return e.phys; },
+            [&](QueueId p) -> unsigned {
+                if (trace)
+                    *trace << "t" << now << " hmma select q" << p
+                           << "\n";
+                if (dram_.hasBlock(p, next_read_issue_[p])) {
+                    if (dram_issued)
+                        return 0;
+                    issueReplenish(p, now);
+                    dram_issued = true;
+                    return gran_;
+                }
+                return bypassReplenish(p);
+            });
+        return;
+    }
     const unsigned iter_bound = 4 * phys_queues_ + 4;
     for (unsigned iter = 0; iter < iter_bound; ++iter) {
-        QueueId p = kInvalidQueue;
-        if (cfg_.mma == MmaKind::Ecqf) {
-            p = hmma_.select(
-                look_, [](const PipeEntry &e) { return e.phys; });
-        } else {
-            p = mdqf_.select(
-                gran_, [this](QueueId q) { return replenishable(q); });
-        }
+        const QueueId p = mdqf_.select(
+            gran_, [this](QueueId q) { return replenishable(q); });
         if (p == kInvalidQueue)
             break;
         if (trace)
@@ -286,7 +302,7 @@ HybridBuffer::issueReplenish(QueueId p, Slot now)
         sched_->push(req);
 }
 
-void
+unsigned
 HybridBuffer::bypassReplenish(QueueId p)
 {
     // Squash any not-yet-launched writes of this queue: their cells
@@ -317,10 +333,11 @@ HybridBuffer::bypassReplenish(QueueId p)
     if (trace)
         *trace << " bypass q" << p << " n " << n << " seq " << seq
                << "\n";
-    head_.insertBlock(p, seq, cells);
+    head_.insertBlock(p, seq, std::move(cells));
     hmma_.onReplenishIssued(p, static_cast<unsigned>(n));
     mdqf_.onReplenishIssued(p, static_cast<unsigned>(n));
     bypass_cells_.inc(n);
+    return static_cast<unsigned>(n);
 }
 
 void

@@ -112,7 +112,8 @@ class HybridBuffer : public PacketBuffer
     void headMmaDecide(Slot now);
     void tailMmaDecide(Slot now);
     void issueReplenish(QueueId p, Slot now);
-    void bypassReplenish(QueueId p);
+    /** @return cells moved to the head SRAM (always >= 1). */
+    unsigned bypassReplenish(QueueId p);
     void dssTick(Slot now);
     void launchRead(const dss::DramRequest &req, Slot now);
     void launchWrite(const dss::DramRequest &req, Slot now);

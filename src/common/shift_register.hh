@@ -48,6 +48,22 @@ class ShiftRegister
 
     std::size_t depth() const { return slots_.size(); }
 
+    /**
+     * Visit every stage from head (next to emerge) to tail in two
+     * linear segments -- the modulo-free fast path for the per-slot
+     * ECQF scan, which walks the whole register every granularity
+     * interval.
+     */
+    template <typename Visitor>
+    void
+    forEachFromHead(Visitor &&visit) const
+    {
+        for (std::size_t i = head_; i < slots_.size(); ++i)
+            visit(slots_[i]);
+        for (std::size_t i = 0; i < head_; ++i)
+            visit(slots_[i]);
+    }
+
     /** Number of non-idle entries currently held. */
     std::size_t
     occupancy() const

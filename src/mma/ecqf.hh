@@ -61,19 +61,58 @@ class EcqfMma
     QueueId
     select(const ShiftRegister<T> &lookahead, Proj proj)
     {
+        QueueId found = kInvalidQueue;
+        scan(lookahead, proj, [&found](QueueId p) -> unsigned {
+            found = p;
+            return 0; // stop at the first critical queue
+        });
+        return found;
+    }
+
+    /**
+     * Single-pass variant of select() for callers that replenish
+     * *every* critical queue of an interval (the bypass-heavy head
+     * MMA decision): walk the lookahead once and invoke
+     * `on_critical(p)` at each queue the moment it goes critical.
+     *
+     * The callback performs the replenish (which feeds back through
+     * onReplenishIssued) and returns the number of cells it issued;
+     * the scan credits them to the queue's scratch counter and
+     * continues, so the remainder of the walk sees exactly the state
+     * a fresh rescan would -- one O(depth) pass replaces the
+     * O(depth) * O(selections) restart loop that dominated the
+     * simulator's profile.  Returning 0 aborts the scan (e.g. the
+     * interval's single DRAM replenish is already spent).
+     */
+    template <typename T, typename Proj, typename OnCritical>
+    void
+    scan(const ShiftRegister<T> &lookahead, Proj proj,
+         OnCritical on_critical)
+    {
         ++scan_epoch_;
-        for (std::size_t i = 0; i < lookahead.depth(); ++i) {
-            const QueueId p = proj(lookahead.peek(i));
+        bool stop = false;
+        lookahead.forEachFromHead([&](const T &entry) {
+            if (stop)
+                return;
+            const QueueId p = proj(entry);
             if (p == kInvalidQueue)
-                continue;
+                return;
             if (epoch_[p] != scan_epoch_) {
                 epoch_[p] = scan_epoch_;
                 scratch_[p] = occ_[p];
             }
-            if (--scratch_[p] < 0)
-                return p;
-        }
-        return kInvalidQueue;
+            if (--scratch_[p] < 0) {
+                const unsigned issued = on_critical(p);
+                if (issued == 0) {
+                    stop = true;
+                    return;
+                }
+                // occ_[p] grew by `issued` via onReplenishIssued;
+                // mirror it into the scratch copy so the rest of the
+                // walk matches what a restarted scan would compute.
+                scratch_[p] += issued;
+            }
+        });
     }
 
     std::int64_t occupancy(QueueId p) const { return occ_[p]; }

@@ -5,16 +5,16 @@ namespace pktbuf::sim
 
 SimRunner::SimRunner(buffer::PacketBuffer &buf, Workload &wl,
                      bool check)
-    : buf_(buf), wl_(wl), check_(check), checker_(wl.queues())
+    : buf_(buf), wl_(wl), check_(check),
+      admit_([&buf](QueueId q) { return buf.wouldAdmit(q); }),
+      checker_(wl.queues())
 {}
 
 RunResult
 SimRunner::run(std::uint64_t slots)
 {
     for (std::uint64_t i = 0; i < slots; ++i) {
-        const Stimulus s = wl_.step(
-            buf_.now(),
-            [this](QueueId q) { return buf_.wouldAdmit(q); });
+        const Stimulus s = wl_.step(buf_.now(), admit_);
         if (s.arrival)
             ++arrivals_;
         const auto grant = buf_.step(s.arrival, s.request);

@@ -53,6 +53,9 @@ class SimRunner
     buffer::PacketBuffer &buf_;
     Workload &wl_;
     bool check_;
+    /** Admission predicate, built once: constructing a std::function
+     *  per slot showed up in the simulator's profile. */
+    std::function<bool(QueueId)> admit_;
     GoldenChecker checker_;
     Sampler delay_;
     std::uint64_t arrivals_ = 0;

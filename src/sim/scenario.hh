@@ -47,7 +47,9 @@ enum class WorkloadKind
     DrainPermutation,  //!< whole-queue drains in seeded random order
 };
 
+/** @return the lower-case leg-name token ("rads", "cfds", ...). */
 std::string toString(BufferVariant v);
+/** @return the lower-case leg-name token ("adversarial", ...). */
 std::string toString(WorkloadKind k);
 
 /** One leg of the matrix. */
@@ -71,11 +73,19 @@ struct Scenario
     std::uint64_t seed = 1;
     std::uint64_t slots = 20000;
 
-    /** Unique, gtest-name-safe identifier of the leg. */
+    /**
+     * Unique, gtest-name-safe identifier of the leg
+     * (e.g. "cfds_bursty_q8_B8_b2").
+     * @return the identifier; stable across runs and platforms.
+     */
     std::string name() const;
-    /** Human-readable one-liner; always includes the seed. */
+    /**
+     * Human-readable one-liner for logs and failure messages.
+     * @return name() plus groups/DRAM/load/slots and -- always --
+     *         the seed, so the leg can be replayed from a log line.
+     */
     std::string describe() const;
-    /** Resolved buffer configuration for this leg. */
+    /** @return the resolved buffer configuration for this leg. */
     buffer::BufferConfig bufferConfig() const;
 };
 
@@ -93,7 +103,12 @@ struct ScenarioOutcome
     std::string failure;
 };
 
-/** Instantiate the workload a scenario asks for. */
+/**
+ * Instantiate the workload a scenario asks for.
+ * @param s the leg; its kind, queue count, seed and load are used
+ * @return a freshly seeded generator (all randomness derives from
+ *         `s.seed`, so identical scenarios replay bit-for-bit)
+ */
 std::unique_ptr<Workload> makeWorkload(const Scenario &s);
 
 /**
@@ -101,13 +116,28 @@ std::unique_ptr<Workload> makeWorkload(const Scenario &s);
  * `s.slots` with the golden checker on, then drain every remaining
  * credited cell.  Never throws: panics and fatals become a failed
  * outcome whose message names the scenario and seed.
+ *
+ * Legs are self-contained (own buffer, workload, RNG), so any number
+ * of them may run concurrently -- the sweep engine
+ * (sweep/scenario_sweep.hh) relies on exactly this.
+ *
+ * @param s the leg to run
+ * @return the outcome; `passed` is false iff any invariant broke,
+ *         with `failure` carrying Scenario::describe() and the seed
  */
 ScenarioOutcome runScenario(const Scenario &s);
 
-/** Full sweep: 3 variants x 4 workloads x several (Q, B, b) grids. */
+/**
+ * Full sweep: 3 variants x 4 workloads x several (Q, B, b) grids.
+ * @return the legs in canonical order (the order of the committed
+ *         BENCH_scenario_matrix.json baseline)
+ */
 std::vector<Scenario> defaultMatrix();
 
-/** Reduced sweep (fewer slots, one grid per cell) for CI smoke. */
+/**
+ * Reduced sweep (fewer slots, one grid per cell) for CI smoke.
+ * @return one leg per (variant, workload) cell
+ */
 std::vector<Scenario> smokeMatrix();
 
 } // namespace pktbuf::sim

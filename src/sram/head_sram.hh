@@ -16,7 +16,6 @@
 #define PKTBUF_SRAM_HEAD_SRAM_HH
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <vector>
 
@@ -38,11 +37,14 @@ class HeadSram
     /**
      * Insert a replenished block.  `seq` is the per-queue replenish
      * sequence assigned when the MMA issued the request; blocks may
-     * arrive out of order but are consumed in sequence.
+     * arrive out of order but are consumed in sequence.  The cell
+     * vector is taken by value and moved into place: blocks flow
+     * tail SRAM -> DRAM -> here without per-hop copies (this path
+     * runs once per replenish and showed up in the simulator's
+     * profile as deque construction churn).
      */
     void
-    insertBlock(QueueId p, std::uint64_t seq,
-                const std::vector<Cell> &cells)
+    insertBlock(QueueId p, std::uint64_t seq, std::vector<Cell> cells)
     {
         auto &qq = q(p);
         panic_if(seq < qq.next_consume_seq,
@@ -51,9 +53,8 @@ class HeadSram
         panic_if(qq.blocks.count(seq),
                  "duplicate replenish seq ", seq, " on queue ", p);
         panic_if(cells.empty(), "empty replenish block");
-        qq.blocks.emplace(seq, std::deque<Cell>(cells.begin(),
-                                                cells.end()));
         occupancy_ += cells.size();
+        qq.blocks.emplace(seq, Block{std::move(cells), 0});
         high_water_.observe(static_cast<std::int64_t>(occupancy_));
         panic_if(capacity_ && occupancy_ > capacity_,
                  "h-SRAM overflow: ", occupancy_, " cells > capacity ",
@@ -73,9 +74,9 @@ class HeadSram
                  "MISS: queue ", p, " has no cells for replenish seq ",
                  qq.next_consume_seq,
                  " in h-SRAM at grant time");
-        Cell c = it->second.front();
-        it->second.pop_front();
-        if (it->second.empty()) {
+        Block &blk = it->second;
+        Cell c = blk.cells[blk.consumed++];
+        if (blk.consumed == blk.cells.size()) {
             qq.blocks.erase(it);
             ++qq.next_consume_seq;
         }
@@ -99,7 +100,7 @@ class HeadSram
         const auto &qq = q(p);
         std::uint64_t n = 0;
         for (const auto &[s, blk] : qq.blocks)
-            n += blk.size();
+            n += blk.cells.size() - blk.consumed;
         return n;
     }
 
@@ -118,9 +119,16 @@ class HeadSram
     }
 
   private:
+    /** A replenished block, consumed front to back in place. */
+    struct Block
+    {
+        std::vector<Cell> cells;
+        std::size_t consumed = 0;
+    };
+
     struct QueueState
     {
-        std::map<std::uint64_t, std::deque<Cell>> blocks;
+        std::map<std::uint64_t, Block> blocks;
         std::uint64_t next_consume_seq = 0;
     };
 

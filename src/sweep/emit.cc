@@ -1,0 +1,154 @@
+#include "emit.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace pktbuf::sweep
+{
+
+namespace
+{
+
+void
+appendRow(std::string &out, const std::string &task,
+          const Record &rec, const char *indent)
+{
+    out += indent;
+    out += "{\"task\": ";
+    out += Value(task).json();
+    for (const auto &[k, v] : rec.fields()) {
+        if (k == "task")
+            continue;
+        out += ", ";
+        out += Value(k).json();
+        out += ": ";
+        out += v.json();
+    }
+    out += "}";
+}
+
+} // namespace
+
+std::string
+toJson(const SweepReport &rep, const std::vector<Task> &tasks,
+       const EmitMeta &meta)
+{
+    panic_if(rep.results.size() != tasks.size(),
+             "report/task list size mismatch");
+    std::string out;
+    out += "{\n";
+    out += "  \"schema\": \"pktbuf-sweep-v1\",\n";
+    out += "  \"tool\": " + Value(meta.tool).json() + ",\n";
+    out += "  \"meta\": {";
+    bool first = true;
+    for (const auto &[k, v] : meta.extra.fields()) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    " + Value(k).json() + ": " + v.json();
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"failed\": " + std::to_string(rep.failed) + ",\n";
+    out += "  \"results\": [";
+    first = true;
+    for (std::size_t i = 0; i < rep.results.size(); ++i) {
+        const auto &r = rep.results[i];
+        // A failed task's records still carry the diagnostic
+        // counters its harness collected -- emit them, tagged, plus
+        // the error itself (as its own row when there is no record
+        // to attach it to).
+        if (!r.ok && r.records.empty()) {
+            Record err;
+            err.set("ok", false).set("error", r.error);
+            out += first ? "\n" : ",\n";
+            first = false;
+            appendRow(out, tasks[i].name, err, "    ");
+            continue;
+        }
+        for (const auto &rec : r.records) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            if (r.ok) {
+                appendRow(out, tasks[i].name, rec, "    ");
+            } else {
+                Record tagged = rec;
+                tagged.set("ok", false).set("error", r.error);
+                appendRow(out, tasks[i].name, tagged, "    ");
+            }
+        }
+    }
+    out += first ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
+toCsv(const SweepReport &rep, const std::vector<Task> &tasks)
+{
+    panic_if(rep.results.size() != tasks.size(),
+             "report/task list size mismatch");
+    // Header: union of field names in first-seen order.  Every
+    // record contributes -- including a failed task's diagnostic
+    // records, which are emitted as rows below -- so columns and
+    // rows always agree (no phantom always-empty columns).
+    std::vector<std::string> cols;
+    const auto ensure = [&](const std::string &k) {
+        for (const auto &c : cols)
+            if (c == k)
+                return;
+        cols.push_back(k);
+    };
+    for (const auto &r : rep.results)
+        for (const auto &rec : r.records)
+            for (const auto &[k, v] : rec.fields())
+                if (k != "task")
+                    ensure(k);
+
+    std::string out = "task";
+    for (const auto &c : cols)
+        out += "," + Value(c).csv();
+    out += "\n";
+    for (std::size_t i = 0; i < rep.results.size(); ++i) {
+        for (const auto &rec : rep.results[i].records) {
+            out += Value(tasks[i].name).csv();
+            for (const auto &c : cols) {
+                out += ",";
+                if (const Value *v = rec.find(c))
+                    out += v->csv();
+            }
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+void
+emitArtifacts(const SweepReport &rep, const std::vector<Task> &tasks,
+              const EmitMeta &meta, const std::string &json_path,
+              const std::string &csv_path)
+{
+    if (!json_path.empty())
+        writeFileOrDie(json_path, toJson(rep, tasks, meta));
+    if (!csv_path.empty())
+        writeFileOrDie(csv_path, toCsv(rep, tasks));
+}
+
+void
+writeFileOrDie(const std::string &path, const std::string &content)
+{
+    if (path == "-") {
+        const auto n =
+            std::fwrite(content.data(), 1, content.size(), stdout);
+        fatal_if(n != content.size() || std::fflush(stdout) != 0,
+                 "short write to stdout");
+        return;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    fatal_if(!f, "cannot open '", path, "' for writing");
+    const auto n = std::fwrite(content.data(), 1, content.size(), f);
+    const bool short_write = n != content.size();
+    const bool close_err = std::fclose(f) != 0;
+    fatal_if(short_write || close_err, "short write to '", path, "'");
+}
+
+} // namespace pktbuf::sweep

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic JSON and CSV emission of sweep results.
+ *
+ * The JSON schema ("pktbuf-sweep-v1") is the machine-readable perf
+ * trajectory the repo's BENCH_*.json baselines are built from:
+ *
+ * @code{.json}
+ * {
+ *   "schema": "pktbuf-sweep-v1",
+ *   "tool":   "scenario_matrix",
+ *   "meta":   { ...caller-provided key/values... },
+ *   "failed": 0,
+ *   "results": [ {"task": "...", ...record fields...}, ... ]
+ * }
+ * @endcode
+ *
+ * Emission is purely a function of the report contents: fields keep
+ * their insertion order, doubles use the shortest round-trip form,
+ * and nothing run-dependent (wall time, thread count, hostnames)
+ * creeps in unless the caller puts it in `meta` -- that is what makes
+ * "same master seed, any --jobs, byte-identical output" testable.
+ */
+
+#ifndef PKTBUF_SWEEP_EMIT_HH
+#define PKTBUF_SWEEP_EMIT_HH
+
+#include <string>
+
+#include "sweep/record.hh"
+#include "sweep/sweep.hh"
+
+namespace pktbuf::sweep
+{
+
+/** Caller-controlled identification of an emitted artifact. */
+struct EmitMeta
+{
+    /** Producing harness ("scenario_matrix", "throughput_micro"). */
+    std::string tool;
+    /**
+     * Extra metadata (configuration echo, baseline annotations).
+     * Anything run-dependent placed here intentionally opts that
+     * artifact out of byte-identity across runs.
+     */
+    Record extra;
+};
+
+/**
+ * Serialize a whole report as pretty-printed deterministic JSON.
+ * Each task contributes its records in order, every row tagged with
+ * the task's name; failed tasks contribute one row carrying
+ * "ok": false and the error string instead.
+ */
+std::string toJson(const SweepReport &rep,
+                   const std::vector<Task> &tasks,
+                   const EmitMeta &meta);
+
+/**
+ * Serialize all records as CSV: the header is the union of field
+ * names in first-seen order (prefixed by "task"), missing fields are
+ * empty.  Failed tasks are skipped (CSV has no error channel).
+ */
+std::string toCsv(const SweepReport &rep,
+                  const std::vector<Task> &tasks);
+
+/**
+ * Write `content` to `path` ("-" = stdout).  Calls fatal() on any
+ * I/O error: a bench that silently loses its baseline artifact would
+ * read as a green CI step.
+ */
+void writeFileOrDie(const std::string &path,
+                    const std::string &content);
+
+/**
+ * Emit the artifacts a harness was asked for: JSON to `json_path`
+ * and CSV to `csv_path` (empty = skip, "-" = stdout).  The single
+ * shared implementation of the "--json/--csv" contract, so the
+ * schema and file handling cannot drift between the bench front end
+ * and the example CLIs.
+ */
+void emitArtifacts(const SweepReport &rep,
+                   const std::vector<Task> &tasks,
+                   const EmitMeta &meta, const std::string &json_path,
+                   const std::string &csv_path);
+
+} // namespace pktbuf::sweep
+
+#endif // PKTBUF_SWEEP_EMIT_HH

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests of the parallel sweep engine (src/sweep): determinism of the
+ * aggregated output across thread counts (the engine's core
+ * contract), failure propagation with seeds in the message, ordered
+ * aggregation under heavy oversubscription, seed derivation, and the
+ * JSON/CSV emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/scenario.hh"
+#include "sweep/emit.hh"
+#include "sweep/record.hh"
+#include "sweep/scenario_sweep.hh"
+#include "sweep/sweep.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::sweep;
+
+namespace
+{
+
+TEST(DeriveSeed, DeterministicAndDecorrelated)
+{
+    EXPECT_EQ(deriveSeed(1, 0), deriveSeed(1, 0));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t m : {0ull, 1ull, 42ull})
+        for (std::uint64_t i = 0; i < 64; ++i)
+            seen.insert(deriveSeed(m, i));
+    // All (master, index) pairs distinct -- no shard shares a stream.
+    EXPECT_EQ(seen.size(), 3u * 64u);
+}
+
+TEST(SweepEngine, OrderedAggregationUnderOversubscription)
+{
+    // 64 tasks on 8 threads (massively oversubscribed on any core
+    // count): results must still land at their task's index.
+    std::vector<Task> tasks;
+    for (int i = 0; i < 64; ++i) {
+        tasks.push_back(Task{
+            "t" + std::to_string(i),
+            [i](const SweepContext &ctx) {
+                EXPECT_EQ(ctx.index, static_cast<std::size_t>(i));
+                TaskResult r;
+                r.text = std::to_string(i) + "\n";
+                Record rec;
+                rec.set("i", i).set("seed", ctx.seed);
+                r.records.push_back(std::move(rec));
+                return r;
+            },
+        });
+    }
+    SweepOptions opt;
+    opt.jobs = 8;
+    const auto rep = runSweep(tasks, opt);
+    ASSERT_EQ(rep.results.size(), 64u);
+    EXPECT_EQ(rep.failed, 0u);
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_EQ(rep.results[i].records.size(), 1u);
+        EXPECT_EQ(rep.results[i].records[0].find("i")->asUInt(),
+                  static_cast<std::uint64_t>(i));
+        EXPECT_EQ(rep.results[i].text, std::to_string(i) + "\n");
+    }
+}
+
+TEST(SweepEngine, FailurePropagation)
+{
+    std::vector<Task> tasks;
+    tasks.push_back(Task{"good", [](const SweepContext &) {
+                             return TaskResult{};
+                         }});
+    tasks.push_back(Task{"bad", [](const SweepContext &) -> TaskResult {
+                             panic("leg violated the golden model");
+                         }});
+    tasks.push_back(Task{"also_good", [](const SweepContext &) {
+                             return TaskResult{};
+                         }});
+    SweepOptions opt;
+    opt.jobs = 4;
+    opt.masterSeed = 99;
+    const auto rep = runSweep(tasks, opt);
+    // One failing leg fails the whole sweep ...
+    EXPECT_EQ(rep.failed, 1u);
+    EXPECT_TRUE(rep.results[0].ok);
+    ASSERT_FALSE(rep.results[1].ok);
+    EXPECT_TRUE(rep.results[2].ok);
+    // ... but the others still ran (no fail-fast hiding of legs).
+    const auto &err = rep.results[1].error;
+    // The failure names the task and prints its shard seed.
+    EXPECT_NE(err.find("'bad'"), std::string::npos) << err;
+    EXPECT_NE(err.find("shard seed " +
+                       std::to_string(deriveSeed(99, 1))),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("golden model"), std::string::npos) << err;
+}
+
+/** Reduced scenario legs so three sweeps stay fast. */
+std::vector<sim::Scenario>
+tinyMatrix()
+{
+    auto legs = sim::smokeMatrix();
+    for (auto &l : legs)
+        l.slots = 1500;
+    return legs;
+}
+
+TEST(SweepDeterminism, JsonByteIdenticalAcrossJobs)
+{
+    // The acceptance contract of the whole subsystem: same master
+    // seed, --jobs 1/4/8, byte-identical aggregated JSON (and text).
+    const auto legs = tinyMatrix();
+    std::string json[3];
+    std::string text[3];
+    const unsigned jobs[3] = {1, 4, 8};
+    for (int k = 0; k < 3; ++k) {
+        auto tasks = makeScenarioTasks(legs, /*deriveSeeds=*/false);
+        SweepOptions opt;
+        opt.jobs = jobs[k];
+        const auto rep = runSweep(tasks, opt);
+        EXPECT_EQ(rep.failed, 0u);
+        EmitMeta meta;
+        meta.tool = "test";
+        json[k] = toJson(rep, tasks, meta);
+        for (const auto &r : rep.results)
+            text[k] += r.text;
+    }
+    EXPECT_EQ(json[0], json[1]);
+    EXPECT_EQ(json[0], json[2]);
+    EXPECT_EQ(text[0], text[1]);
+    EXPECT_EQ(text[0], text[2]);
+    // And the artifact is non-trivial: every leg contributed a row.
+    for (const auto &leg : legs)
+        EXPECT_NE(json[0].find(leg.name()), std::string::npos);
+}
+
+TEST(SweepDeterminism, MasterSeedDerivesPerLegSeeds)
+{
+    // With deriveSeeds on, leg i must run with splitmix(master, i),
+    // and two different masters must give different outcomes streams
+    // (the records echo the seed actually used).
+    auto legs = tinyMatrix();
+    legs.resize(2);
+    auto tasks = makeScenarioTasks(legs, /*deriveSeeds=*/true);
+    SweepOptions opt;
+    opt.jobs = 2;
+    opt.masterSeed = 7;
+    const auto rep = runSweep(tasks, opt);
+    ASSERT_EQ(rep.results.size(), 2u);
+    for (std::size_t i = 0; i < rep.results.size(); ++i) {
+        ASSERT_EQ(rep.results[i].records.size(), 1u);
+        EXPECT_EQ(rep.results[i].records[0].find("seed")->asUInt(),
+                  deriveSeed(7, i));
+    }
+}
+
+TEST(Emitters, JsonEscapingAndShapes)
+{
+    std::vector<Task> tasks;
+    tasks.push_back(Task{"esc", [](const SweepContext &) {
+                             TaskResult r;
+                             Record rec;
+                             rec.set("s", "q\"b\\n\nx\ty")
+                                 .set("i", -3)
+                                 .set("u", 7u)
+                                 .set("d", 0.5)
+                                 .set("whole", 4.0)
+                                 .set("flag", true);
+                             r.records.push_back(std::move(rec));
+                             return r;
+                         }});
+    const auto rep = runSweep(tasks, SweepOptions{});
+    EmitMeta meta;
+    meta.tool = "unit";
+    meta.extra.set("note", "n");
+    const auto js = toJson(rep, tasks, meta);
+    EXPECT_NE(js.find("\"schema\": \"pktbuf-sweep-v1\""),
+              std::string::npos);
+    EXPECT_NE(js.find("\"tool\": \"unit\""), std::string::npos);
+    EXPECT_NE(js.find("\"s\": \"q\\\"b\\\\n\\nx\\ty\""),
+              std::string::npos)
+        << js;
+    EXPECT_NE(js.find("\"i\": -3"), std::string::npos);
+    EXPECT_NE(js.find("\"u\": 7"), std::string::npos);
+    EXPECT_NE(js.find("\"d\": 0.5"), std::string::npos);
+    // Integral doubles still read back as JSON numbers with a point.
+    EXPECT_NE(js.find("\"whole\": 4.0"), std::string::npos) << js;
+    EXPECT_NE(js.find("\"flag\": true"), std::string::npos);
+
+    const auto csv = toCsv(rep, tasks);
+    EXPECT_EQ(csv.substr(0, csv.find('\n')),
+              "task,s,i,u,d,whole,flag");
+    // CSV quotes fields containing commas/quotes/newlines.
+    EXPECT_NE(csv.find("\"q\"\"b\\n\nx\ty\""), std::string::npos)
+        << csv;
+}
+
+TEST(Emitters, FailedTaskBecomesErrorRow)
+{
+    std::vector<Task> tasks;
+    tasks.push_back(Task{"boom", [](const SweepContext &) -> TaskResult {
+                             throw std::runtime_error("kapow");
+                         }});
+    const auto rep = runSweep(tasks, SweepOptions{});
+    EXPECT_EQ(rep.failed, 1u);
+    EmitMeta meta;
+    meta.tool = "unit";
+    const auto js = toJson(rep, tasks, meta);
+    EXPECT_NE(js.find("\"failed\": 1"), std::string::npos);
+    EXPECT_NE(js.find("\"ok\": false"), std::string::npos);
+    EXPECT_NE(js.find("kapow"), std::string::npos);
+    // CSV skips failed tasks entirely (no error channel).
+    const auto csv = toCsv(rep, tasks);
+    EXPECT_EQ(csv.find("boom"), std::string::npos);
+}
+
+TEST(Emitters, FailedTaskKeepsDiagnosticRecords)
+{
+    // A failing harness row (e.g. a violated validation bound) still
+    // collects counters; the artifacts must carry them, tagged with
+    // the failure, instead of replacing them with a bare error row.
+    std::vector<Task> tasks;
+    tasks.push_back(Task{"viol", [](const SweepContext &) {
+                             TaskResult r;
+                             Record rec;
+                             rec.set("grants", 123u)
+                                 .set("violation", "bank conflict");
+                             r.records.push_back(std::move(rec));
+                             r.ok = false;
+                             r.error = "bound violated";
+                             return r;
+                         }});
+    const auto rep = runSweep(tasks, SweepOptions{});
+    EXPECT_EQ(rep.failed, 1u);
+    EmitMeta meta;
+    meta.tool = "unit";
+    const auto js = toJson(rep, tasks, meta);
+    EXPECT_NE(js.find("\"grants\": 123"), std::string::npos) << js;
+    EXPECT_NE(js.find("\"ok\": false"), std::string::npos);
+    EXPECT_NE(js.find("bound violated"), std::string::npos);
+    const auto csv = toCsv(rep, tasks);
+    EXPECT_NE(csv.find("viol,123"), std::string::npos) << csv;
+}
+
+TEST(Emitters, RecordOverwriteKeepsPosition)
+{
+    Record r;
+    r.set("a", 1u).set("b", 2u).set("a", 3u);
+    ASSERT_EQ(r.fields().size(), 2u);
+    EXPECT_EQ(r.fields()[0].first, "a");
+    EXPECT_EQ(r.fields()[0].second.asUInt(), 3u);
+    EXPECT_EQ(r.fields()[1].first, "b");
+}
+
+} // namespace

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Check that every relative markdown link in the committed docs
+# resolves to an existing file or directory.  External (http/https/
+# mailto) links and pure #fragment anchors are skipped.  Exits
+# non-zero listing every broken link, so CI fails when a doc rots.
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+# Committed markdown only (build trees may contain generated .md);
+# everything is read line-wise so paths and link targets containing
+# spaces survive intact.
+while IFS= read -r f; do
+    dir=$(dirname "$f")
+    # Extract (target) of every [text](target), one per line.
+    while IFS= read -r link; do
+        [ -z "$link" ] && continue
+        case "$link" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        target="${link%%#*}"        # drop any #fragment
+        [ -z "$target" ] && continue
+        # Markdown links resolve relative to the containing file
+        # only -- no repo-root fallback, which would pass links that
+        # 404 when rendered.
+        if [ ! -e "$dir/$target" ]; then
+            echo "BROKEN LINK: $f -> $link"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done < <(git ls-files '*.md')
+
+if [ "$fail" -eq 0 ]; then
+    echo "all markdown links resolve"
+fi
+exit $fail
