@@ -7,9 +7,13 @@
  * Failures always print the seed so the leg can be replayed
  * bit-for-bit.
  *
- *   scenario_matrix [--smoke] [--list] [--filter SUBSTR]
+ *   scenario_matrix [--smoke] [--timing] [--list] [--filter SUBSTR]
  *                   [--seed N] [--seed-exact N] [--slots N]
  *                   [--jobs N] [--json PATH] [--csv PATH]
+ *
+ * --timing selects the timed-DRAM adversarial matrix (refresh storm,
+ * turnaround thrash, asymmetric bank groups) instead of the legacy
+ * matrix, so the legacy sweep's output stays byte-identical.
  *
  * --seed N reseeds leg i with splitmix(N, i) (decorrelated sweep
  * from one number); --seed-exact N gives every selected leg exactly
@@ -44,11 +48,14 @@ void
 usage(const char *prog)
 {
     std::fprintf(stderr,
-                 "usage: %s [--smoke] [--list] [--filter SUBSTR]"
+                 "usage: %s [--smoke] [--timing] [--list]"
+                 " [--filter SUBSTR]"
                  " [--seed N] [--slots N]\n"
                  "          [--jobs N] [--json PATH] [--csv PATH]\n"
                  "  --smoke    reduced sweep for CI (fewer legs and"
                  " slots)\n"
+                 "  --timing   the timed-DRAM adversarial matrix"
+                 " (refresh / turnaround / asym)\n"
                  "  --list     print the legs without running them\n"
                  "  --filter   run only legs whose name contains"
                  " SUBSTR\n"
@@ -74,6 +81,7 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    bool timing = false;
     bool list = false;
     std::string filter;
     std::uint64_t seed_override = 0;
@@ -89,6 +97,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--smoke")) {
             smoke = true;
+        } else if (!std::strcmp(argv[i], "--timing")) {
+            timing = true;
         } else if (!std::strcmp(argv[i], "--list")) {
             list = true;
         } else if (!std::strcmp(argv[i], "--filter") && i + 1 < argc) {
@@ -123,7 +133,9 @@ main(int argc, char **argv)
         return 2;
     }
 
-    auto matrix = smoke ? smokeMatrix() : defaultMatrix();
+    auto matrix = timing ? (smoke ? timingSmokeMatrix()
+                                  : timingMatrix())
+                         : (smoke ? smokeMatrix() : defaultMatrix());
     std::vector<Scenario> selected;
     for (auto &s : matrix) {
         if (!filter.empty() &&
@@ -171,6 +183,8 @@ main(int argc, char **argv)
 
     sweep::Record meta;
     meta.set("smoke", smoke).set("legs", selected.size());
+    if (timing)
+        meta.set("timing", true);
     if (have_seed)
         meta.set("master_seed", seed_override);
     if (have_seed_exact)

@@ -25,6 +25,70 @@ resolveBanksPerGroup(const BufferConfig &cfg)
     return cfg.params.isRads() ? 1 : cfg.params.banksPerGroup();
 }
 
+/**
+ * Resolve the DDR timing policy.  Non-uniform configs are CFDS-only:
+ * RADS has no DSS to honor refresh windows or turnaround rules.
+ */
+std::shared_ptr<const dram::DramTiming>
+resolveTiming(const BufferConfig &cfg)
+{
+    fatal_if(!cfg.timing.isUniform() && cfg.params.isRads(),
+             "the timed DRAM model (refresh/turnaround/per-group"
+             " t_RC) requires the banked CFDS organization");
+    return std::make_shared<const dram::DramTiming>(
+        cfg.timing, resolveBanks(cfg), resolveBanksPerGroup(cfg),
+        cfg.params.granRads);
+}
+
+/** Per-bank access times for the BankState oracle; empty = uniform
+ *  legacy model (exactly the old behavior). */
+std::vector<Slot>
+resolveBankSlots(const BufferConfig &cfg,
+                 const dram::DramTiming &timing)
+{
+    if (cfg.params.isRads() ||
+        (cfg.timing.groupTRc.empty() && cfg.timing.tRc == 0)) {
+        return {};
+    }
+    std::vector<Slot> v(timing.banks());
+    for (unsigned bank = 0; bank < timing.banks(); ++bank)
+        v[bank] = timing.accessSlots(bank);
+    return v;
+}
+
+/**
+ * Extra grant-pipeline depth hiding the timed DRAM model's stalls.
+ *
+ * Eq. (3) budgets the DSS reordering delay of the *uniform* model;
+ * each timed constraint can hold a read back further: a slow group's
+ * bank stays busy (t_RC - B) longer per access across the B/b banks
+ * a queue cycles over, a refresh blackout refuses launches for t_RFC
+ * slots (and the deferred access may collide with the *next*
+ * blackout before draining), and every direction switch can push a
+ * launch out by the turnaround penalty.  Stall cascades amplify the
+ * sum -- a deferred access keeps its bank busy later, deferring its
+ * successors -- so the budget doubles it and adds one access time of
+ * headroom.  Validated empirically by the timing scenario legs
+ * (zero misses, golden-checked); the uniform default adds nothing.
+ */
+std::uint64_t
+timingLatencySlack(const BufferConfig &cfg)
+{
+    const auto &t = cfg.timing;
+    if (t.isUniform())
+        return 0;
+    const Slot B = cfg.params.granRads;
+    const unsigned bpg = cfg.params.banksPerGroup();
+    // A tRc *below* B (faster-than-B banks) needs no extra budget;
+    // guard the subtraction rather than underflow it.
+    const Slot max_trc = t.maxTRc(B);
+    std::uint64_t slack = (max_trc > B ? max_trc - B : 0) * bpg;
+    if (t.tRefi)
+        slack += 2 * t.tRfc + B;
+    slack += t.turnaround * bpg;
+    return 2 * slack + B;
+}
+
 std::uint64_t
 resolveLookahead(const BufferConfig &cfg)
 {
@@ -46,7 +110,7 @@ resolveLatency(const BufferConfig &cfg)
     // Eq. (3) extends it by the worst-case DSS reordering delay.
     if (cfg.params.isRads())
         return cfg.params.granRads;
-    return model::latencySlots(cfg.params);
+    return model::latencySlots(cfg.params) + timingLatencySlack(cfg);
 }
 
 std::uint64_t
@@ -95,8 +159,17 @@ resolveRrCapacity(const BufferConfig &cfg)
     // around, and same-queue write ordering can briefly extend the
     // window (the paper's R counts steady-state residents; measured
     // worst-case excess over R across the validation sweep is 3 --
-    // see DESIGN.md on the Eq. (1) reconstruction).
-    return model::rrSize(cfg.params) + 4;
+    // see DESIGN.md on the Eq. (1) reconstruction).  With a timed
+    // DRAM model, requests deferred by refresh/turnaround/slow banks
+    // pile up: one read and one write can arrive per granularity
+    // interval of deferral, so the slack scales with the latency
+    // extension.
+    std::uint64_t timing_slack = 0;
+    if (!cfg.timing.isUniform()) {
+        const unsigned b = std::max(cfg.params.gran, 1u);
+        timing_slack = 2 * (timingLatencySlack(cfg) / b + 2);
+    }
+    return model::rrSize(cfg.params) + 4 + timing_slack;
 }
 
 std::uint64_t
@@ -121,7 +194,9 @@ HybridBuffer::HybridBuffer(const BufferConfig &cfg)
       gran_(cfg.params.gran),
       gran_rads_(cfg.params.granRads),
       map_(resolveBanks(cfg), resolveBanksPerGroup(cfg)),
-      banks_(rads_ ? 2 : cfg.params.banks, cfg.params.granRads),
+      timing_(resolveTiming(cfg)),
+      banks_(rads_ ? 2 : cfg.params.banks, cfg.params.granRads,
+             resolveBankSlots(cfg, *timing_)),
       dram_(phys_queues_, gran_, map_.groups(),
             resolveGroupCapacity(cfg, map_.groups())),
       tail_(phys_queues_, resolveTailCells(cfg)),
@@ -130,7 +205,7 @@ HybridBuffer::HybridBuffer(const BufferConfig &cfg)
       mdqf_(phys_queues_),
       tmma_(phys_queues_),
       look_(resolveLookahead(cfg), PipeEntry{}),
-      orr_(cfg.params.granRads),
+      orr_(timing_),
       rt_(nullptr),
       next_read_issue_(phys_queues_, 0),
       next_write_issue_(phys_queues_, 0),
@@ -156,8 +231,8 @@ HybridBuffer::HybridBuffer(const BufferConfig &cfg)
     }
 
     const auto rr_cap = resolveRrCapacity(cfg_);
-    sched_ =
-        std::make_unique<dss::DramScheduler>(rr_cap, orr_, true);
+    sched_ = std::make_unique<dss::DramScheduler>(rr_cap, orr_, true,
+                                                  &stats_);
 
     if (cfg_.renaming) {
         rt_ = std::make_unique<rename::RenamingTable>(
@@ -216,13 +291,21 @@ HybridBuffer::admitArrival(const Cell &cell)
 void
 HybridBuffer::processCompletions(Slot now)
 {
-    while (!completions_.empty() && completions_.front().at <= now) {
-        auto &c = completions_.front();
+    // Uniform timing completes in launch (FIFO) order; heterogeneous
+    // bank groups can finish a fast bank's read behind a slow one,
+    // so the whole (small) deque is scanned.  The head SRAM consumes
+    // blocks in replenish-sequence order per queue either way.
+    for (auto it = completions_.begin(); it != completions_.end();) {
+        if (it->at > now) {
+            ++it;
+            continue;
+        }
         if (trace)
-            *trace << "t" << now << " complete read q" << c.phys
-                   << " seq " << c.replenishSeq << "\n";
-        head_.insertBlock(c.phys, c.replenishSeq, std::move(c.cells));
-        completions_.pop_front();
+            *trace << "t" << now << " complete read q" << it->phys
+                   << " seq " << it->replenishSeq << "\n";
+        head_.insertBlock(it->phys, it->replenishSeq,
+                          std::move(it->cells));
+        it = completions_.erase(it);
     }
 }
 
@@ -391,11 +474,15 @@ HybridBuffer::launchRead(const dss::DramRequest &req, Slot now)
     auto cells = dram_.readBlock(req.physQueue, req.blockOrdinal, g);
     panic_if(committed_[g] < gran_, "committed accounting underflow");
     committed_[g] -= gran_;
+    // The data arrives when the bank's row cycle ends: B slots for
+    // the uniform model, the group's t_RC for slow bank groups.
+    const Slot done =
+        now + (rads_ ? gran_rads_ : timing_->accessSlots(req.bank));
     if (trace)
         *trace << "t" << now << " launch read q" << req.physQueue
                << " ord " << req.blockOrdinal << " bank " << req.bank
-               << " done@" << now + gran_rads_ << "\n";
-    completions_.push_back(Completion{now + gran_rads_, req.physQueue,
+               << " done@" << done << "\n";
+    completions_.push_back(Completion{done, req.physQueue,
                                       req.replenishSeq,
                                       std::move(cells)});
     dram_reads_.inc();
@@ -507,6 +594,10 @@ HybridBuffer::report() const
     r.rrMaxSkips = sched_->rr().maxSkips();
     r.orrHighWater = orr_.highWater();
     r.dsaStalls = sched_->stalls();
+    r.dsaStallsBankBusy = sched_->stallsFor(dram::StallCause::BankBusy);
+    r.dsaStallsRefresh = sched_->stallsFor(dram::StallCause::Refresh);
+    r.dsaStallsTurnaround =
+        sched_->stallsFor(dram::StallCause::Turnaround);
     if (rt_) {
         r.renames = rt_->renames();
         r.renameRecycles = rt_->recycles();

@@ -32,6 +32,7 @@
 #include "dram/address_map.hh"
 #include "dram/bank_state.hh"
 #include "dram/dram_store.hh"
+#include "dram/timing.hh"
 #include "dss/dram_scheduler.hh"
 #include "dss/ongoing_requests.hh"
 #include "mma/ecqf.hh"
@@ -84,6 +85,10 @@ class HybridBuffer : public PacketBuffer
     const sram::HeadSram &headSram() const { return head_; }
     const sram::TailSram &tailSram() const { return tail_; }
     const rename::RenamingTable *renaming() const { return rt_.get(); }
+    /** The resolved DDR timing policy. */
+    const dram::DramTiming &timing() const { return *timing_; }
+    /** Named statistics (per-cause DSA stalls live here). */
+    const StatRegistry &stats() const { return stats_; }
 
   private:
     /** What travels through the lookahead and latency registers. */
@@ -139,6 +144,8 @@ class HybridBuffer : public PacketBuffer
     Slot now_ = 0;
 
     dram::AddressMap map_;
+    /** Shared with the ORR; must be built before banks_ and orr_. */
+    std::shared_ptr<const dram::DramTiming> timing_;
     dram::BankState banks_;
     dram::DramStore dram_;
     sram::TailSram tail_;
@@ -165,6 +172,7 @@ class HybridBuffer : public PacketBuffer
 
     std::deque<Completion> completions_;
 
+    StatRegistry stats_;
     Counter arrivals_;
     Counter grants_;
     Counter bypass_cells_;

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/types.hh"
+#include "dram/timing.hh"
 #include "model/dimensioning.hh"
 
 namespace pktbuf::buffer
@@ -59,6 +60,16 @@ struct BufferConfig
     std::uint64_t rrCapacity = 0;
 
     /**
+     * DDR timing model (dram/timing.hh).  The default (uniform)
+     * config reproduces the legacy one-number model bit for bit;
+     * non-uniform configs (refresh, turnaround, per-group t_RC)
+     * require the banked CFDS organization and automatically extend
+     * the latency register and SRAM/RR slack to keep the zero-miss
+     * guarantee.
+     */
+    dram::TimingConfig timing;
+
+    /**
      * Measurement mode: SRAM/RR capacities unbounded, high-water
      * marks recorded (used to validate the formulas empirically).
      */
@@ -92,6 +103,10 @@ struct BufferReport
     std::int64_t rrMaxSkips = 0;
     std::int64_t orrHighWater = 0;
     std::uint64_t dsaStalls = 0;
+    /** dsaStalls broken down by blocking cause (timed DRAM model). */
+    std::uint64_t dsaStallsBankBusy = 0;
+    std::uint64_t dsaStallsRefresh = 0;
+    std::uint64_t dsaStallsTurnaround = 0;
     std::uint64_t renames = 0;
     std::uint64_t renameRecycles = 0;
     std::uint64_t dramResidentCells = 0;

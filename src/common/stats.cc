@@ -11,7 +11,11 @@ Histogram::percentile(double frac) const
     if (sampler_.count() == 0)
         return 0.0;
     const auto target = static_cast<std::uint64_t>(frac * sampler_.count());
-    std::uint64_t seen = 0;
+    // Underflow samples sit below every bucket: if they alone cover
+    // the requested fraction, the percentile is below zero.
+    std::uint64_t seen = underflow_;
+    if (seen > target)
+        return 0.0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         seen += counts_[i];
         if (seen > target)

@@ -89,7 +89,7 @@ class HighWater
     std::int64_t max_ = 0;
 };
 
-/** Fixed-width linear histogram with overflow bucket. */
+/** Fixed-width linear histogram with underflow and overflow buckets. */
 class Histogram
 {
   public:
@@ -101,7 +101,15 @@ class Histogram
     sample(double v)
     {
         sampler_.sample(v);
-        std::size_t idx = v < 0 ? 0 : static_cast<std::size_t>(v / width_);
+        // Negative samples land in a dedicated underflow bucket
+        // instead of being silently clamped into bucket 0: a
+        // latency-delta histogram must surface sign errors, not
+        // mask them.
+        if (v < 0) {
+            ++underflow_;
+            return;
+        }
+        std::size_t idx = static_cast<std::size_t>(v / width_);
         if (idx >= counts_.size() - 1)
             idx = counts_.size() - 1;
         ++counts_[idx];
@@ -109,6 +117,8 @@ class Histogram
 
     const Sampler &summary() const { return sampler_; }
     const std::vector<std::uint64_t> &buckets() const { return counts_; }
+    /** Samples below zero (would-be-clamped sign errors). */
+    std::uint64_t underflow() const { return underflow_; }
     double bucketWidth() const { return width_; }
 
     /** Value below which the given fraction of samples fall. */
@@ -117,6 +127,7 @@ class Histogram
   private:
     double width_;
     std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
     Sampler sampler_;
 };
 

@@ -30,8 +30,36 @@ class BankState
         panic_if(access_slots == 0, "zero access time");
     }
 
+    /**
+     * Heterogeneous variant: bank `i` is busy for `per_bank[i]`
+     * slots per access (per-bank-group t_RC, dram/timing.hh).
+     */
+    BankState(unsigned banks, Slot access_slots,
+              std::vector<Slot> per_bank)
+        : BankState(banks, access_slots)
+    {
+        if (per_bank.empty())
+            return;
+        panic_if(per_bank.size() != banks,
+                 "per-bank access times for ", per_bank.size(),
+                 " of ", banks, " banks");
+        for (const Slot t : per_bank)
+            panic_if(t == 0, "zero per-bank access time");
+        per_bank_slots_ = std::move(per_bank);
+    }
+
     unsigned banks() const { return static_cast<unsigned>(busy_until_.size()); }
     Slot accessSlots() const { return access_slots_; }
+
+    /** Access time of one bank (uniform unless per-bank given). */
+    Slot
+    accessSlotsOf(unsigned bank) const
+    {
+        panic_if(bank >= busy_until_.size(), "bank ", bank,
+                 " out of range");
+        return per_bank_slots_.empty() ? access_slots_
+                                       : per_bank_slots_[bank];
+    }
 
     /** Is the bank inside its random access time at `now`? */
     bool
@@ -53,7 +81,7 @@ class BankState
         panic_if(busy(bank, now), "bank conflict: bank ", bank,
                  " accessed at slot ", now, " while busy until ",
                  busy_until_[bank]);
-        busy_until_[bank] = now + access_slots_;
+        busy_until_[bank] = now + accessSlotsOf(bank);
         accesses_.inc();
         return busy_until_[bank];
     }
@@ -74,6 +102,8 @@ class BankState
   private:
     std::vector<Slot> busy_until_;
     Slot access_slots_;
+    /** Non-empty = heterogeneous per-bank access times. */
+    std::vector<Slot> per_bank_slots_;
     Counter accesses_;
 };
 

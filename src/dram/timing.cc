@@ -1,0 +1,85 @@
+#include "timing.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pktbuf::dram
+{
+
+const char *
+toString(StallCause c)
+{
+    switch (c) {
+      case StallCause::BankBusy:
+        return "bank_busy";
+      case StallCause::Refresh:
+        return "refresh";
+      case StallCause::Turnaround:
+        return "turnaround";
+    }
+    return "?";
+}
+
+std::string
+TimingConfig::describe(Slot base) const
+{
+    std::ostringstream os;
+    if (isUniform()) {
+        os << "uniform tRC=" << (tRc ? tRc : base);
+        return os.str();
+    }
+    os << "tRC=";
+    if (groupTRc.empty()) {
+        os << (tRc ? tRc : base);
+    } else {
+        for (std::size_t g = 0; g < groupTRc.size(); ++g) {
+            os << (g ? "/" : "")
+               << (groupTRc[g] ? groupTRc[g] : (tRc ? tRc : base));
+        }
+    }
+    if (turnaround)
+        os << " turn=" << turnaround;
+    if (tRefi)
+        os << " REFI=" << tRefi << "/" << tRfc << "x" << refreshBanks;
+    return os.str();
+}
+
+DramTiming::DramTiming(const TimingConfig &cfg, unsigned banks,
+                       unsigned banks_per_group, Slot base_trc)
+    : cfg_(cfg), banks_(banks), base_trc_(cfg.tRc ? cfg.tRc : base_trc)
+{
+    fatal_if(base_trc_ == 0, "zero t_RC");
+    fatal_if(cfg_.tRefi != 0 && cfg_.tRfc == 0,
+             "refresh enabled (t_REFI=", cfg_.tRefi,
+             ") with zero t_RFC");
+    fatal_if(cfg_.tRefi != 0 && cfg_.tRfc >= cfg_.tRefi,
+             "t_RFC=", cfg_.tRfc, " must be < t_REFI=", cfg_.tRefi,
+             ": the blackout may not cover the whole interval");
+    fatal_if(cfg_.refreshBanks == 0, "refreshBanks == 0");
+    fatal_if(!cfg_.isUniform() && banks == 0,
+             "non-uniform timing needs the bank count");
+    fatal_if(cfg_.tRefi != 0 && cfg_.refreshBanks > banks,
+             "refresh window of ", cfg_.refreshBanks,
+             " banks exceeds the ", banks, " banks present");
+    if (!cfg_.groupTRc.empty()) {
+        fatal_if(banks_per_group == 0, "banks_per_group == 0");
+        fatal_if(banks % banks_per_group != 0,
+                 "banks not a multiple of group size");
+        const unsigned groups = banks / banks_per_group;
+        fatal_if(cfg_.groupTRc.size() != groups,
+                 "groupTRc has ", cfg_.groupTRc.size(),
+                 " entries for ", groups, " groups");
+        bank_trc_.resize(banks);
+        for (unsigned bank = 0; bank < banks; ++bank) {
+            // Banks are laid out group-major (AddressMap::bankOf).
+            const Slot g = cfg_.groupTRc[bank / banks_per_group];
+            bank_trc_[bank] = g ? g : base_trc_;
+        }
+    }
+    max_trc_ = base_trc_;
+    for (const Slot t : bank_trc_)
+        max_trc_ = t > max_trc_ ? t : max_trc_;
+}
+
+} // namespace pktbuf::dram

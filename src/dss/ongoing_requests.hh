@@ -9,6 +9,13 @@
  * the shared lock table for the read and write schedulers, pruned by
  * completion time, plus occupancy statistics so tests can check the
  * paper's ORR sizing (B/b - 1 per request stream).
+ *
+ * Timing is delegated to a `dram::DramTiming` policy object rather
+ * than a scalar access time: besides the per-bank t_RC lock window,
+ * the policy can impose refresh blackouts and a read<->write
+ * turnaround penalty, each reported as a distinct `StallCause` so
+ * the scheduler can account stalls by cause.  The default (uniform)
+ * policy reproduces the legacy scalar behavior bit for bit.
  */
 
 #ifndef PKTBUF_DSS_ONGOING_REQUESTS_HH
@@ -16,10 +23,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <optional>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "dram/timing.hh"
 
 namespace pktbuf::dss
 {
@@ -27,28 +37,78 @@ namespace pktbuf::dss
 class OngoingRequests
 {
   public:
+    /** Legacy uniform model: every bank locks for `access_slots`. */
     explicit OngoingRequests(Slot access_slots)
-        : access_slots_(access_slots)
+        : OngoingRequests(std::make_shared<const dram::DramTiming>(
+              dram::TimingConfig{}, /*banks=*/0,
+              /*banks_per_group=*/0, access_slots))
     {}
 
-    /** Record a launched access: bank locked until now + t_RC. */
+    /** Full DDR model: lock windows, refresh and turnaround come
+     *  from the shared timing policy. */
+    explicit OngoingRequests(
+        std::shared_ptr<const dram::DramTiming> timing)
+        : timing_(std::move(timing))
+    {
+        panic_if(!timing_, "null timing policy");
+    }
+
+    /**
+     * Record a launched access: bank locked until now + t_RC(bank),
+     * and -- with a turnaround penalty configured -- the opposite
+     * direction blocked until now + turnaround.
+     */
     void
-    add(unsigned bank, Slot now)
+    add(unsigned bank, Slot now,
+        dram::AccessKind kind = dram::AccessKind::Read)
     {
         prune(now);
         panic_if(lockedNoPrune(bank),
                  "ORR already holds bank ", bank,
                  ": the DSA launched a conflicting access");
-        entries_.push_back({bank, now + access_slots_});
+        panic_if(timing_->inRefresh(bank, now),
+                 "DSA launched into refreshing bank ", bank,
+                 " at slot ", now);
+        panic_if(now < directionOk(kind),
+                 "DSA launched a ",
+                 kind == dram::AccessKind::Read ? "read" : "write",
+                 " at slot ", now, " inside the turnaround window");
+        entries_.push_back({bank, now + timing_->accessSlots(bank)});
+        if (timing_->turnaround() > 0) {
+            Slot &other = kind == dram::AccessKind::Read ? write_ok_
+                                                         : read_ok_;
+            const Slot until = now + timing_->turnaround();
+            other = until > other ? until : other;
+        }
         high_water_.observe(static_cast<std::int64_t>(entries_.size()));
     }
 
-    /** Is the bank locked at `now`? */
+    /** Is the bank inside its t_RC lock window at `now`?  (Bank-busy
+     *  only; refresh and turnaround are visible via blockedCause.) */
     bool
     locked(unsigned bank, Slot now)
     {
         prune(now);
         return lockedNoPrune(bank);
+    }
+
+    /**
+     * Would a launch of `kind` to `bank` be refused at `now`, and
+     * why?  Causes are checked in priority order: bank-busy (the
+     * legacy constraint), then refresh, then turnaround.
+     * @return the blocking cause, or nullopt if the launch is legal
+     */
+    std::optional<dram::StallCause>
+    blockedCause(unsigned bank, dram::AccessKind kind, Slot now)
+    {
+        prune(now);
+        if (lockedNoPrune(bank))
+            return dram::StallCause::BankBusy;
+        if (timing_->inRefresh(bank, now))
+            return dram::StallCause::Refresh;
+        if (now < directionOk(kind))
+            return dram::StallCause::Turnaround;
+        return std::nullopt;
     }
 
     /** Entries currently held (after pruning at `now`). */
@@ -60,7 +120,9 @@ class OngoingRequests
     }
 
     std::int64_t highWater() const { return high_water_.max(); }
-    Slot accessSlots() const { return access_slots_; }
+    /** Uniform/base t_RC (the buffer's B). */
+    Slot accessSlots() const { return timing_->baseTRc(); }
+    const dram::DramTiming &timing() const { return *timing_; }
 
   private:
     struct Entry
@@ -68,6 +130,13 @@ class OngoingRequests
         unsigned bank;
         Slot until;
     };
+
+    /** Earliest slot a launch of `kind` may go out (turnaround). */
+    Slot
+    directionOk(dram::AccessKind kind) const
+    {
+        return kind == dram::AccessKind::Read ? read_ok_ : write_ok_;
+    }
 
     bool
     lockedNoPrune(unsigned bank) const
@@ -81,12 +150,22 @@ class OngoingRequests
     void
     prune(Slot now)
     {
-        while (!entries_.empty() && entries_.front().until <= now)
-            entries_.pop_front();
+        // Under uniform t_RC expirations are FIFO, but heterogeneous
+        // bank groups can expire a fast bank behind a slow one, so
+        // the whole table is scanned (it holds at most a handful of
+        // in-flight accesses).
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (it->until <= now)
+                it = entries_.erase(it);
+            else
+                ++it;
+        }
     }
 
-    Slot access_slots_;
+    std::shared_ptr<const dram::DramTiming> timing_;
     std::deque<Entry> entries_;
+    Slot read_ok_ = 0;   //!< earliest legal read launch (turnaround)
+    Slot write_ok_ = 0;  //!< earliest legal write launch
     HighWater high_water_;
 };
 

@@ -20,6 +20,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "dram/timing.hh"
 #include "dss/request.hh"
 
 namespace pktbuf::dss
@@ -51,13 +52,26 @@ class RequestRegister
     }
 
     /**
-     * Select the *oldest* request whose bank is not locked, remove
-     * it (compacting the register) and return it.  Every older
-     * request passed over gains one skip; max skips are tracked so
-     * tests can check Eq. (2).
+     * Select the *oldest* request the timing policy does not block,
+     * remove it (compacting the register) and return it.  Every
+     * older request passed over gains one skip; max skips are
+     * tracked so tests can check Eq. (2).
+     *
+     * @param blocked         cause blocking this request now, or
+     *                        nullopt
+     * @param oldest_blocked  out: the cause blocking the *oldest*
+     *                        timing-blocked entry (whose delay
+     *                        dominates the latency budget).  A
+     *                        write-after-write ordering hold
+     *                        (in_order_per_queue) is head-of-line
+     *                        blocking, not a timing stall, and is
+     *                        never reported here.
      */
     std::optional<DramRequest>
-    selectOldestReady(const std::function<bool(unsigned)> &locked)
+    selectOldestReady(
+        const std::function<std::optional<dram::StallCause>(
+            const DramRequest &)> &blocked,
+        std::optional<dram::StallCause> *oldest_blocked = nullptr)
     {
         std::vector<QueueId> passed_write_queues;
         for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -66,7 +80,12 @@ class RequestRegister
             const bool queue_blocked =
                 in_order_per_queue_ && is_write &&
                 contains(passed_write_queues, entries_[i].physQueue);
-            if (queue_blocked || locked(entries_[i].bank)) {
+            std::optional<dram::StallCause> cause;
+            if (!queue_blocked)
+                cause = blocked(entries_[i]);
+            if (queue_blocked || cause) {
+                if (cause && oldest_blocked && !*oldest_blocked)
+                    *oldest_blocked = cause;
                 if (is_write)
                     passed_write_queues.push_back(
                         entries_[i].physQueue);
@@ -82,6 +101,19 @@ class RequestRegister
             return req;
         }
         return std::nullopt;
+    }
+
+    /** Legacy bank-lock form: `locked(bank)` maps to BankBusy. */
+    std::optional<DramRequest>
+    selectOldestReady(const std::function<bool(unsigned)> &locked)
+    {
+        return selectOldestReady(
+            [&](const DramRequest &r)
+                -> std::optional<dram::StallCause> {
+                if (locked(r.bank))
+                    return dram::StallCause::BankBusy;
+                return std::nullopt;
+            });
     }
 
     /**

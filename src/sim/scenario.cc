@@ -48,6 +48,8 @@ Scenario::name() const
        << (variant == BufferVariant::Rads ? granRads : gran);
     if (physQueues && physQueues != queues)
         os << "_p" << physQueues;
+    if (!timingTag.empty())
+        os << "_" << timingTag;
     return os.str();
 }
 
@@ -58,6 +60,8 @@ Scenario::describe() const
     os << name() << " groups=" << groups << " dram="
        << (dramCells ? std::to_string(dramCells) : "unbounded")
        << " load=" << load << " slots=" << slots << " seed=" << seed;
+    if (!timing.isUniform())
+        os << " timing=[" << timing.describe(granRads) << "]";
     return os.str();
 }
 
@@ -71,6 +75,7 @@ Scenario::bufferConfig() const
     cfg.params = model::BufferParams{phys, granRads, b,
                                      groups * banks_per_group};
     cfg.dramCells = dramCells;
+    cfg.timing = timing;
     if (variant == BufferVariant::CfdsRenaming) {
         cfg.logicalQueues = queues;
         cfg.renaming = true;
@@ -91,10 +96,12 @@ makeWorkload(const Scenario &s)
             s.queues, s.seed, s.load, kWarmup);
       case WorkloadKind::Bernoulli:
         return std::make_unique<UniformRandom>(s.queues, s.seed,
-                                               s.load);
+                                               s.load,
+                                               s.unbiasedRequests);
       case WorkloadKind::Bursty:
         return std::make_unique<BurstyOnOff>(s.queues, s.seed,
-                                             /*burst_len=*/64, s.load);
+                                             /*burst_len=*/64, s.load,
+                                             s.unbiasedRequests);
       case WorkloadKind::DrainPermutation:
         return std::make_unique<PermutedDrain>(s.queues, s.seed,
                                                kWarmup, s.load);
@@ -237,6 +244,106 @@ buildMatrix(std::uint64_t slots, bool full)
     return m;
 }
 
+/**
+ * One timed-DRAM adversary family: a timing config crafted to
+ * provoke one stall cause, plus the load the line can sustain once
+ * that cause steals DRAM bandwidth (refresh blackouts and
+ * turnaround bubbles are *lost* launch opportunities, so these legs
+ * must run below full load -- full load would grow the backlog
+ * without bound, exactly the capacity argument of Section 5).
+ */
+struct TimingFamily
+{
+    const char *tag;
+    dram::TimingConfig timing;
+    double load;
+    unsigned queues;
+    unsigned gran;    //!< b
+    unsigned groups;  //!< G
+};
+
+std::vector<TimingFamily>
+timingFamilies()
+{
+    std::vector<TimingFamily> fams;
+    {
+        // Refresh storm: every 128 slots a 16-slot blackout locks a
+        // rotating 2-bank window -- 1/8 of the time, 1/8 of the
+        // banks.
+        dram::TimingConfig t;
+        t.tRefi = 128;
+        t.tRfc = 16;
+        t.refreshBanks = 2;
+        fams.push_back({"refresh", t, 0.8, 8, 2, 4});
+    }
+    {
+        // Turnaround thrash: a 2-slot read<->write switch penalty on
+        // a 2-group system; the combined RR alternates directions
+        // every interval, so roughly half the launch opportunities
+        // evaporate -- the legs run at under half load.
+        dram::TimingConfig t;
+        t.turnaround = 2;
+        fams.push_back({"turnaround", t, 0.45, 8, 4, 2});
+    }
+    {
+        // Asymmetric bank groups: groups 1-3 are slower than B
+        // (t_RC 12/16/12 vs 8), so queues living there replenish at
+        // a fraction of line rate and the DSA sees bank-busy stalls
+        // the uniform model never produces.
+        dram::TimingConfig t;
+        t.groupTRc = {8, 12, 16, 12};
+        fams.push_back({"asym", t, 0.5, 8, 2, 4});
+    }
+    {
+        // Full DDR: all three constraints at once, the worst case
+        // the latency/RR slack budget must cover.
+        dram::TimingConfig t;
+        t.tRefi = 128;
+        t.tRfc = 16;
+        t.refreshBanks = 2;
+        t.turnaround = 1;
+        t.groupTRc = {8, 12, 16, 12};
+        fams.push_back({"ddr", t, 0.35, 8, 2, 4});
+    }
+    return fams;
+}
+
+std::vector<Scenario>
+buildTimingMatrix(std::uint64_t slots, bool full)
+{
+    // Each family runs an adversarial and a randomized leg; the
+    // randomized legs use the unbiased uniform request picker (the
+    // legacy biased scan stays confined to the legacy legs).
+    const std::vector<WorkloadKind> wls =
+        full ? std::vector<WorkloadKind>{WorkloadKind::Adversarial,
+                                         WorkloadKind::Bernoulli}
+             : std::vector<WorkloadKind>{WorkloadKind::Bernoulli};
+    std::vector<Scenario> m;
+    unsigned fam_idx = 0;
+    for (const auto &fam : timingFamilies()) {
+        for (const auto w : wls) {
+            Scenario s;
+            s.variant = BufferVariant::Cfds;
+            s.workload = w;
+            s.queues = fam.queues;
+            s.granRads = 8;
+            s.gran = fam.gran;
+            s.groups = fam.groups;
+            s.load = fam.load;
+            s.slots = slots;
+            s.timing = fam.timing;
+            s.timingTag = fam.tag;
+            s.unbiasedRequests = true;
+            s.seed = 7000 + 101 * fam_idx +
+                     11 * static_cast<std::uint64_t>(w) +
+                     8191ull * fam.gran;
+            m.push_back(s);
+        }
+        ++fam_idx;
+    }
+    return m;
+}
+
 } // namespace
 
 std::vector<Scenario>
@@ -249,6 +356,18 @@ std::vector<Scenario>
 smokeMatrix()
 {
     return buildMatrix(/*slots=*/4000, /*full=*/false);
+}
+
+std::vector<Scenario>
+timingMatrix()
+{
+    return buildTimingMatrix(/*slots=*/20000, /*full=*/true);
+}
+
+std::vector<Scenario>
+timingSmokeMatrix()
+{
+    return buildTimingMatrix(/*slots=*/4000, /*full=*/false);
 }
 
 } // namespace pktbuf::sim

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "buffer/packet_buffer.hh"
+#include "dram/timing.hh"
 #include "sim/runner.hh"
 #include "sim/workload.hh"
 
@@ -72,6 +73,18 @@ struct Scenario
     double load = 1.0;
     std::uint64_t seed = 1;
     std::uint64_t slots = 20000;
+
+    /** DDR timing model; the uniform default keeps every legacy leg
+     *  bit-identical.  Non-uniform configs are CFDS-only. */
+    dram::TimingConfig timing;
+    /** Name token for a non-uniform timing family ("refresh", ...);
+     *  appended to name() so timing legs stay uniquely addressable. */
+    std::string timingTag;
+    /** Drive request selection through the genuinely uniform picker
+     *  (Workload::uniformRequestable) instead of the legacy biased
+     *  scan; only the timing legs opt in, so legacy outputs are
+     *  unchanged. */
+    bool unbiasedRequests = false;
 
     /**
      * Unique, gtest-name-safe identifier of the leg
@@ -139,6 +152,21 @@ std::vector<Scenario> defaultMatrix();
  * @return one leg per (variant, workload) cell
  */
 std::vector<Scenario> smokeMatrix();
+
+/**
+ * The timed-DRAM adversarial sweep: refresh-storm, turnaround-thrash
+ * and asymmetric-bank-group legs (plus a uniform control), each
+ * golden-checked and drained like every other leg.  Kept separate
+ * from defaultMatrix() so the legacy matrix output stays
+ * byte-identical; run via `scenario_matrix --timing` or
+ * `bench_timing_sweep`.
+ * @return the legs in canonical order (the order of the committed
+ *         BENCH_timing.json baseline)
+ */
+std::vector<Scenario> timingMatrix();
+
+/** Reduced timing sweep (fewer slots, one leg per family) for CI. */
+std::vector<Scenario> timingSmokeMatrix();
 
 } // namespace pktbuf::sim
 

@@ -121,14 +121,43 @@ class Workload
         return kInvalidQueue;
     }
 
-    /** Uniformly random queue with credit, or invalid if none. */
+    /**
+     * Random queue with credit, or invalid if none -- the *legacy*
+     * picker.  NOTE it is biased: it draws a random start and scans
+     * forward cyclically, so queue q is chosen with probability
+     * (1 + length of the credit-less run preceding q) / Q, not 1/Q.
+     * Queues that follow long empty runs are over-selected.  The
+     * path is kept because the legacy scenario legs' golden outputs
+     * depend on its RNG stream; new work should use
+     * uniformRequestable().
+     */
     QueueId
     randomRequestable()
     {
-        // Start from a random point and scan; uniform enough for
-        // traffic generation and O(Q) worst case.
         return nextRequestable(
             static_cast<QueueId>(rng_.below(queues_)));
+    }
+
+    /**
+     * Genuinely uniform queue with credit, or invalid if none: the
+     * k-th credited queue for k drawn uniformly from the credited
+     * count (one RNG draw, two O(Q) scans).  Used by the timed-DRAM
+     * scenario legs.
+     */
+    QueueId
+    uniformRequestable()
+    {
+        unsigned credited = 0;
+        for (QueueId q = 0; q < queues_; ++q)
+            credited += credit_[q] > 0 ? 1 : 0;
+        if (credited == 0)
+            return kInvalidQueue;
+        auto k = rng_.below(credited);
+        for (QueueId q = 0; q < queues_; ++q) {
+            if (credit_[q] > 0 && k-- == 0)
+                return q;
+        }
+        panic("uniformRequestable scan overran the credited count");
     }
 
     unsigned queues_;
@@ -185,13 +214,19 @@ class RoundRobinWorstCase : public Workload
     QueueId req_ = 0;
 };
 
-/** Uniform random arrivals and requests at a given load. */
+/**
+ * Uniform random arrivals and requests at a given load.
+ * `unbiased_requests` selects the genuinely uniform request picker
+ * (uniformRequestable); the default keeps the legacy biased scan so
+ * existing legs replay bit-for-bit.
+ */
 class UniformRandom : public Workload
 {
   public:
     UniformRandom(unsigned queues, std::uint64_t seed,
-                  double load = 1.0)
-        : Workload(queues, seed), load_(load)
+                  double load = 1.0, bool unbiased_requests = false)
+        : Workload(queues, seed), load_(load),
+          unbiased_(unbiased_requests)
     {}
 
     std::string name() const override { return "uniform-random"; }
@@ -210,11 +245,12 @@ class UniformRandom : public Workload
     {
         if (!rng_.chance(load_))
             return kInvalidQueue;
-        return randomRequestable();
+        return unbiased_ ? uniformRequestable() : randomRequestable();
     }
 
   private:
     double load_;
+    bool unbiased_;
 };
 
 /**
@@ -226,8 +262,10 @@ class BurstyOnOff : public Workload
 {
   public:
     BurstyOnOff(unsigned queues, std::uint64_t seed,
-                std::uint64_t burst_len = 256, double load = 1.0)
-        : Workload(queues, seed), burst_len_(burst_len), load_(load)
+                std::uint64_t burst_len = 256, double load = 1.0,
+                bool unbiased_requests = false)
+        : Workload(queues, seed), burst_len_(burst_len), load_(load),
+          unbiased_(unbiased_requests)
     {}
 
     std::string name() const override { return "bursty-on-off"; }
@@ -251,12 +289,13 @@ class BurstyOnOff : public Workload
     {
         if (!rng_.chance(load_))
             return kInvalidQueue;
-        return randomRequestable();
+        return unbiased_ ? uniformRequestable() : randomRequestable();
     }
 
   private:
     std::uint64_t burst_len_;
     double load_;
+    bool unbiased_;
     QueueId hot_ = 0;
     std::uint64_t remaining_ = 0;
 };
@@ -415,8 +454,15 @@ class TraceReplay : public Workload
         QueueId request = kInvalidQueue;
     };
 
-    TraceReplay(unsigned queues, std::vector<Entry> trace)
-        : Workload(queues, 1), trace_(std::move(trace))
+    /**
+     * @param seed RNG seed; a trace replay never draws randomness,
+     *        but the base class owns an RNG and the PR-1 rule is
+     *        that *every* user names its seed, so callers state one
+     *        explicitly instead of inheriting a silent constant.
+     */
+    TraceReplay(unsigned queues, std::vector<Entry> trace,
+                std::uint64_t seed)
+        : Workload(queues, seed), trace_(std::move(trace))
     {}
 
     std::string name() const override { return "trace-replay"; }

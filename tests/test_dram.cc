@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "dram/bank_state.hh"
 #include "dram/dram_store.hh"
+#include "dram/timing.hh"
 
 using namespace pktbuf;
 using namespace pktbuf::dram;
@@ -141,4 +142,138 @@ TEST(DramStore, RecycleRequiresEmpty)
     EXPECT_THROW(d.recycle(0), PanicError);
     d.readBlock(0, 0, 0);
     EXPECT_NO_THROW(d.recycle(0));
+}
+
+// ----------------------------------------------------- DramTiming
+
+TEST(DramTiming, UniformDefaultMatchesLegacyScalar)
+{
+    const TimingConfig cfg;
+    EXPECT_TRUE(cfg.isUniform());
+    DramTiming t(cfg, 8, 4, 8);
+    for (unsigned bank = 0; bank < 8; ++bank)
+        EXPECT_EQ(t.accessSlots(bank), 8u);
+    EXPECT_EQ(t.maxAccessSlots(), 8u);
+    EXPECT_FALSE(t.refreshEnabled());
+    EXPECT_EQ(t.turnaround(), 0u);
+    for (Slot now = 0; now < 100; ++now)
+        EXPECT_FALSE(t.inRefresh(now % 8, now));
+}
+
+TEST(DramTiming, PerGroupTrcResolvesGroupMajor)
+{
+    TimingConfig cfg;
+    cfg.groupTRc = {8, 16};
+    EXPECT_FALSE(cfg.isUniform());
+    DramTiming t(cfg, 4, 2, 8);
+    // AddressMap lays banks out group-major: banks 0-1 = group 0.
+    EXPECT_EQ(t.accessSlots(0), 8u);
+    EXPECT_EQ(t.accessSlots(1), 8u);
+    EXPECT_EQ(t.accessSlots(2), 16u);
+    EXPECT_EQ(t.accessSlots(3), 16u);
+    EXPECT_EQ(t.maxAccessSlots(), 16u);
+    EXPECT_EQ(cfg.maxTRc(8), 16u);
+}
+
+TEST(DramTiming, RefreshWindowRotatesDeterministically)
+{
+    TimingConfig cfg;
+    cfg.tRefi = 32;
+    cfg.tRfc = 8;
+    cfg.refreshBanks = 2;
+    DramTiming t(cfg, 4, 2, 8);
+    // Interval 0: banks 0-1 blacked out during [0, 8).
+    EXPECT_TRUE(t.inRefresh(0, 0));
+    EXPECT_TRUE(t.inRefresh(1, 7));
+    EXPECT_FALSE(t.inRefresh(2, 0));
+    EXPECT_FALSE(t.inRefresh(0, 8));  // blackout over
+    // Interval 1 (slots 32..): the window rotates to banks 2-3.
+    EXPECT_TRUE(t.inRefresh(2, 32));
+    EXPECT_TRUE(t.inRefresh(3, 39));
+    EXPECT_FALSE(t.inRefresh(0, 32));
+    EXPECT_FALSE(t.inRefresh(2, 40));
+    // Interval 2 wraps back to banks 0-1.
+    EXPECT_TRUE(t.inRefresh(0, 64));
+    EXPECT_FALSE(t.inRefresh(2, 64));
+}
+
+TEST(DramTiming, InvalidConfigsAreFatal)
+{
+    TimingConfig bad_rfc;
+    bad_rfc.tRefi = 32;  // refresh on, but t_RFC unset
+    EXPECT_THROW(DramTiming(bad_rfc, 4, 2, 8), FatalError);
+
+    TimingConfig rfc_too_long;
+    rfc_too_long.tRefi = 32;
+    rfc_too_long.tRfc = 32;  // blackout covers the whole interval
+    EXPECT_THROW(DramTiming(rfc_too_long, 4, 2, 8), FatalError);
+
+    TimingConfig wrong_groups;
+    wrong_groups.groupTRc = {8, 16, 24};  // 3 entries, 2 groups
+    EXPECT_THROW(DramTiming(wrong_groups, 4, 2, 8), FatalError);
+
+    TimingConfig window_too_wide;
+    window_too_wide.tRefi = 32;
+    window_too_wide.tRfc = 8;
+    window_too_wide.refreshBanks = 8;  // only 4 banks exist
+    EXPECT_THROW(DramTiming(window_too_wide, 4, 2, 8), FatalError);
+
+    TimingConfig no_banks;
+    no_banks.turnaround = 2;  // non-uniform needs a bank count
+    EXPECT_THROW(DramTiming(no_banks, 0, 0, 8), FatalError);
+}
+
+TEST(DramTiming, DescribeNamesEveryKnob)
+{
+    TimingConfig cfg;
+    cfg.groupTRc = {8, 16};
+    cfg.turnaround = 2;
+    cfg.tRefi = 128;
+    cfg.tRfc = 16;
+    cfg.refreshBanks = 2;
+    const auto d = cfg.describe(8);
+    EXPECT_NE(d.find("tRC=8/16"), std::string::npos) << d;
+    EXPECT_NE(d.find("turn=2"), std::string::npos) << d;
+    EXPECT_NE(d.find("REFI=128/16x2"), std::string::npos) << d;
+    EXPECT_EQ(TimingConfig{}.describe(8), "uniform tRC=8");
+}
+
+TEST(BankState, PerBankAccessTimes)
+{
+    BankState s(2, 8, {8, 16});
+    EXPECT_EQ(s.accessSlotsOf(0), 8u);
+    EXPECT_EQ(s.accessSlotsOf(1), 16u);
+    s.startAccess(0, 0);
+    s.startAccess(1, 0);
+    EXPECT_FALSE(s.busy(0, 8));
+    EXPECT_TRUE(s.busy(1, 8));   // slow bank still inside t_RC
+    EXPECT_FALSE(s.busy(1, 16));
+    // Re-access inside the longer window is still a conflict.
+    EXPECT_THROW(s.startAccess(1, 12), PanicError);
+    EXPECT_THROW(BankState(2, 8, {8}), PanicError);  // size mismatch
+}
+
+TEST(DramTiming, ExplicitTrcIsNotUniform)
+{
+    // An explicit tRc -- even one equal to B -- must count as
+    // non-uniform so it passes through the CFDS-only gate and the
+    // latency/RR slack extension (it changes bank lock times and
+    // read completion regardless).
+    TimingConfig cfg;
+    cfg.tRc = 16;
+    EXPECT_FALSE(cfg.isUniform());
+    DramTiming t(cfg, 4, 2, 8);
+    EXPECT_EQ(t.accessSlots(3), 16u);
+    EXPECT_EQ(t.maxAccessSlots(), 16u);
+    TimingConfig same_as_base;
+    same_as_base.tRc = 8;
+    EXPECT_FALSE(same_as_base.isUniform());
+}
+
+TEST(DramTiming, OutOfRangeBankPanics)
+{
+    TimingConfig cfg;
+    cfg.groupTRc = {8, 16};
+    DramTiming t(cfg, 4, 2, 8);
+    EXPECT_THROW(t.accessSlots(4), PanicError);
 }

@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "dram/address_map.hh"
 #include "dram/bank_state.hh"
+#include "dram/timing.hh"
 #include "dss/dram_scheduler.hh"
 
 using namespace pktbuf;
@@ -186,6 +189,134 @@ TEST(DramScheduler, QueueDelayStatistics)
     sched.push(makeRead(0, 0, 0, 0));
     sched.tryLaunch(6);
     EXPECT_DOUBLE_EQ(sched.queueDelay().mean(), 6.0);
+}
+
+TEST(OngoingRequests, LockExpiryBoundaryIsExclusive)
+{
+    // The lock window is [now, now + t_RC): an entry with
+    // until <= now is pruned, so the bank frees on exactly the slot
+    // the access completes, never one early or late.
+    OngoingRequests orr(8);
+    orr.add(5, 100);
+    EXPECT_EQ(orr.size(100), 1u);
+    EXPECT_TRUE(orr.locked(5, 107));   // until = 108 > 107
+    EXPECT_EQ(orr.size(107), 1u);
+    EXPECT_FALSE(orr.locked(5, 108));  // until = 108 <= 108
+    EXPECT_EQ(orr.size(108), 0u);
+}
+
+TEST(OngoingRequests, SharedBetweenReadAndWriteSchedulers)
+{
+    // The read path and the write path each own a scheduler; a bank
+    // is locked no matter which direction locked it, because both
+    // share one ORR.
+    OngoingRequests orr(8);
+    DramScheduler reads(16, orr);
+    DramScheduler writes(16, orr, /*in_order_per_queue=*/true);
+
+    writes.push(makeWrite(0, 0, 3, 0));
+    reads.push(makeRead(1, 0, 3, 0));  // same bank as the write
+    ASSERT_TRUE(writes.tryLaunch(0));
+    // The write's lock must stall the *read* scheduler too.
+    EXPECT_FALSE(reads.tryLaunch(2));
+    EXPECT_EQ(reads.stalls(), 1u);
+    EXPECT_EQ(reads.stallsFor(dram::StallCause::BankBusy), 1u);
+    // ...until the write's access time elapses.
+    auto r = reads.tryLaunch(8);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->physQueue, 1u);
+    // And the read's fresh lock now stalls the write scheduler.
+    writes.push(makeWrite(2, 0, 3, 8));
+    EXPECT_FALSE(writes.tryLaunch(10));
+    EXPECT_EQ(writes.stallsFor(dram::StallCause::BankBusy), 1u);
+    EXPECT_EQ(orr.highWater(), 1);
+}
+
+namespace
+{
+
+std::shared_ptr<const pktbuf::dram::DramTiming>
+makeTiming(const pktbuf::dram::TimingConfig &cfg, unsigned banks,
+           unsigned banks_per_group, pktbuf::Slot base)
+{
+    return std::make_shared<const pktbuf::dram::DramTiming>(
+        cfg, banks, banks_per_group, base);
+}
+
+} // namespace
+
+TEST(DramScheduler, RefreshStallsAreAccountedByCause)
+{
+    // Banks 0-1 are blacked out during [0, 8) of every 64-slot
+    // refresh interval (window 2, rotating).
+    dram::TimingConfig cfg;
+    cfg.tRefi = 64;
+    cfg.tRfc = 8;
+    cfg.refreshBanks = 2;
+    OngoingRequests orr(makeTiming(cfg, 4, 2, 8));
+    StatRegistry stats;
+    DramScheduler sched(16, orr, false, &stats);
+
+    sched.push(makeRead(0, 0, /*bank=*/0, 0));
+    EXPECT_FALSE(sched.tryLaunch(0));  // bank 0 refreshing
+    EXPECT_EQ(sched.stallsFor(dram::StallCause::Refresh), 1u);
+    EXPECT_EQ(sched.stallsFor(dram::StallCause::BankBusy), 0u);
+    EXPECT_EQ(stats.counterValue("dsa.stall.refresh"), 1u);
+    // A request to a bank outside the window launches immediately.
+    sched.push(makeRead(1, 0, /*bank=*/2, 0));
+    auto r = sched.tryLaunch(0);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->bank, 2u);
+    // Once the blackout ends, the deferred request goes out.
+    r = sched.tryLaunch(8);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->bank, 0u);
+}
+
+TEST(DramScheduler, TurnaroundStallsAreAccountedByCause)
+{
+    dram::TimingConfig cfg;
+    cfg.turnaround = 4;
+    OngoingRequests orr(makeTiming(cfg, 4, 2, 8));
+    StatRegistry stats;
+    DramScheduler sched(16, orr, false, &stats);
+
+    sched.push(makeRead(0, 0, 0, 0));
+    sched.push(makeWrite(1, 0, 1, 0));
+    ASSERT_TRUE(sched.tryLaunch(0));  // read launches
+    // The write must wait out the bus turnaround, not a bank lock.
+    EXPECT_FALSE(sched.tryLaunch(2));
+    EXPECT_EQ(sched.stallsFor(dram::StallCause::Turnaround), 1u);
+    EXPECT_EQ(sched.stallsFor(dram::StallCause::BankBusy), 0u);
+    EXPECT_EQ(stats.counterValue("dsa.stall.turnaround"), 1u);
+    auto w = sched.tryLaunch(4);
+    ASSERT_TRUE(w);
+    EXPECT_EQ(w->kind, DramRequest::Kind::Write);
+}
+
+TEST(DramScheduler, PerGroupTrcExtendsTheLockWindow)
+{
+    // Group 0 (banks 0-1) runs at t_RC 8, group 1 (banks 2-3) at 16.
+    dram::TimingConfig cfg;
+    cfg.groupTRc = {8, 16};
+    OngoingRequests orr(makeTiming(cfg, 4, 2, 8));
+    DramScheduler sched(16, orr);
+
+    ASSERT_TRUE((sched.push(makeRead(0, 0, 0, 0)),
+                 sched.tryLaunch(0)));
+    ASSERT_TRUE((sched.push(makeRead(1, 0, 2, 0)),
+                 sched.tryLaunch(0)));
+    // Fast bank frees at 8; slow bank stays locked until 16 -- and
+    // the ORR prunes the fast entry even though the slow one is
+    // older in the table.
+    sched.push(makeRead(0, 1, 0, 8));
+    sched.push(makeRead(1, 1, 2, 8));
+    auto r = sched.tryLaunch(8);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->bank, 0u);
+    EXPECT_FALSE(sched.tryLaunch(10));  // bank 2 still busy
+    EXPECT_EQ(sched.stallsFor(dram::StallCause::BankBusy), 1u);
+    ASSERT_TRUE(sched.tryLaunch(16));
 }
 
 TEST(DramScheduler, RandomizedConflictFreedomAgainstOracle)

@@ -37,6 +37,17 @@ INSTANTIATE_TEST_SUITE_P(
         return info.param.name();
     });
 
+// The timed-DRAM legs (refresh storm, turnaround thrash, asymmetric
+// bank groups, full DDR) run through the very same differential
+// check: every admitted cell granted in order, zero misses, full
+// drain -- the extended latency/RR slack must absorb whatever the
+// timing policy refuses.
+INSTANTIATE_TEST_SUITE_P(
+    Timing, ScenarioMatrix, ::testing::ValuesIn(timingMatrix()),
+    [](const ::testing::TestParamInfo<Scenario> &info) {
+        return info.param.name();
+    });
+
 TEST(ScenarioMatrixShape, CoversRequiredVariantsAndWorkloads)
 {
     const auto matrix = defaultMatrix();
@@ -97,6 +108,54 @@ TEST(ScenarioMatrixShape, RenamingLegsActuallyExerciseRenaming)
     EXPECT_GE(legs_with_renames, 2u);
     EXPECT_GT(renames, 0u);
     EXPECT_GT(drops, 0u);
+}
+
+TEST(ScenarioMatrixShape, TimingLegsProvokeTheirStallCauses)
+{
+    // Each timing family must actually exercise its constraint:
+    // summed over a family's legs, the signature stall cause is
+    // nonzero (otherwise the leg is a no-op rename of a uniform
+    // leg), and the default matrix stays timing-free.
+    std::uint64_t refresh = 0, turnaround = 0, bank_busy = 0;
+    std::set<std::string> tags;
+    for (const auto &s : timingMatrix()) {
+        ASSERT_FALSE(s.timing.isUniform()) << s.describe();
+        ASSERT_FALSE(s.timingTag.empty()) << s.describe();
+        tags.insert(s.timingTag);
+        const auto out = runScenario(s);
+        ASSERT_TRUE(out.passed) << out.failure;
+        if (s.timingTag == "refresh" || s.timingTag == "ddr")
+            refresh += out.report.dsaStallsRefresh;
+        if (s.timingTag == "turnaround" || s.timingTag == "ddr")
+            turnaround += out.report.dsaStallsTurnaround;
+        if (s.timingTag == "asym" || s.timingTag == "ddr")
+            bank_busy += out.report.dsaStallsBankBusy;
+    }
+    EXPECT_GE(tags.size(), 4u);
+    EXPECT_GT(refresh, 0u);
+    EXPECT_GT(turnaround, 0u);
+    EXPECT_GT(bank_busy, 0u);
+    for (const auto &s : defaultMatrix())
+        EXPECT_TRUE(s.timing.isUniform()) << s.describe();
+}
+
+TEST(ScenarioMatrixShape, TimingLegNamesAreUniqueAndTagged)
+{
+    const auto legs = timingMatrix();
+    std::set<std::string> names;
+    for (const auto &s : legs) {
+        names.insert(s.name());
+        EXPECT_NE(s.name().find(s.timingTag), std::string::npos);
+        // The seed and the timing knobs must both appear in the
+        // replay line.
+        EXPECT_NE(s.describe().find("timing=["), std::string::npos);
+        EXPECT_NE(s.describe().find("seed="), std::string::npos);
+    }
+    EXPECT_EQ(names.size(), legs.size());
+    const auto smoke = timingSmokeMatrix();
+    EXPECT_LT(smoke.size(), legs.size());
+    for (const auto &s : smoke)
+        EXPECT_LT(s.slots, legs.front().slots);
 }
 
 TEST(ScenarioMatrixShape, LegsAreDeterministic)
