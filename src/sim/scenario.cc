@@ -43,8 +43,9 @@ std::string
 Scenario::name() const
 {
     std::ostringstream os;
-    os << toString(variant) << "_" << toString(workload) << "_q"
-       << queues << "_B" << granRads << "_b"
+    os << toString(variant) << "_"
+       << (workloadTag.empty() ? toString(workload) : workloadTag)
+       << "_q" << queues << "_B" << granRads << "_b"
        << (variant == BufferVariant::Rads ? granRads : gran);
     if (physQueues && physQueues != queues)
         os << "_p" << physQueues;
@@ -112,17 +113,31 @@ makeWorkload(const Scenario &s)
 ScenarioOutcome
 runScenario(const Scenario &s)
 {
+    std::unique_ptr<Workload> wl;
+    try {
+        wl = makeWorkload(s);
+    } catch (const std::exception &e) {
+        ScenarioOutcome out;
+        out.failure = std::string("exception: ") + e.what() + "; [" +
+                      s.describe() + "]";
+        return out;
+    }
+    return runScenarioWith(s, *wl);
+}
+
+ScenarioOutcome
+runScenarioWith(const Scenario &s, Workload &wl)
+{
     ScenarioOutcome out;
     std::ostringstream why;
     try {
         buffer::HybridBuffer buf(s.bufferConfig());
-        const auto wl = makeWorkload(s);
-        SimRunner runner(buf, *wl, /*check=*/true);
+        SimRunner runner(buf, wl, /*check=*/true);
         out.run = runner.run(s.slots);
 
         std::uint64_t credits = 0;
-        for (QueueId q = 0; q < wl->queues(); ++q)
-            credits += wl->credit(q);
+        for (QueueId q = 0; q < wl.queues(); ++q)
+            credits += wl.credit(q);
         // Steady-state drain delivers ~1 cell/slot; the budget leaves
         // generous slack for pipeline refill and bank conflicts.
         const std::uint64_t budget =
@@ -132,8 +147,8 @@ runScenario(const Scenario &s)
 
         out.verified = runner.checker().granted();
         out.report = buf.report();
-        for (QueueId q = 0; q < wl->queues(); ++q)
-            out.undelivered += wl->credit(q);
+        for (QueueId q = 0; q < wl.queues(); ++q)
+            out.undelivered += wl.credit(q);
 
         if (out.verified != out.run.grants + out.drained) {
             why << "golden checker saw " << out.verified

@@ -80,6 +80,17 @@ struct Scenario
     /** Name token for a non-uniform timing family ("refresh", ...);
      *  appended to name() so timing legs stay uniquely addressable. */
     std::string timingTag;
+    /**
+     * Override token for name()/describe() when the leg runs a
+     * caller-supplied workload (runScenarioWith) that no
+     * WorkloadKind names -- e.g. the switch layer's permutation
+     * stripes ("subsetrr_o3_w4").  Empty (the default) keeps
+     * toString(workload), so every legacy leg name is unchanged.
+     * Purely cosmetic: failure logs and --list must describe the
+     * workload that actually ran, or the repo's replay-from-log
+     * convention breaks.
+     */
+    std::string workloadTag;
     /** Drive request selection through the genuinely uniform picker
      *  (Workload::uniformRequestable) instead of the legacy biased
      *  scan; only the timing legs opt in, so legacy outputs are
@@ -139,6 +150,22 @@ std::unique_ptr<Workload> makeWorkload(const Scenario &s);
  *         with `failure` carrying Scenario::describe() and the seed
  */
 ScenarioOutcome runScenario(const Scenario &s);
+
+/**
+ * Run one leg against a caller-supplied workload: the same
+ * build/run/drain/verify skeleton as runScenario(), but the workload
+ * is injected instead of derived from `s.workload`.  The switch
+ * layer (src/switch) drives every port through this entry so that a
+ * port whose traffic happens to match a matrix leg (the 1-port
+ * uniform switch) reproduces that leg bit-for-bit -- same code path,
+ * same RNG stream, same drain budget.
+ *
+ * @param s  the leg; its buffer configuration, slot budget and
+ *           describe() text are used (s.workload is NOT consulted)
+ * @param wl the workload to drive with; must address s.queues queues
+ * @return the outcome; `passed` is false iff any invariant broke
+ */
+ScenarioOutcome runScenarioWith(const Scenario &s, Workload &wl);
 
 /**
  * Full sweep: 3 variants x 4 workloads x several (Q, B, b) grids.

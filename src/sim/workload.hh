@@ -335,11 +335,18 @@ class SingleQueue : public Workload
 class SubsetRoundRobin : public Workload
 {
   public:
+    /**
+     * @param arrival_load probability of an arrival per slot; the
+     *        default 1.0 draws no randomness at all, so legacy users
+     *        replay bit-for-bit.  The switch layer's permutation
+     *        pattern runs its affinity stripes below full load.
+     */
     SubsetRoundRobin(unsigned queues, std::uint64_t seed,
                      std::vector<QueueId> subset,
-                     double request_load = 1.0)
+                     double request_load = 1.0,
+                     double arrival_load = 1.0)
         : Workload(queues, seed), subset_(std::move(subset)),
-          request_load_(request_load)
+          request_load_(request_load), arrival_load_(arrival_load)
     {
         panic_if(subset_.empty(), "empty subset");
     }
@@ -350,6 +357,8 @@ class SubsetRoundRobin : public Workload
     QueueId
     arrivalQueue(Slot) override
     {
+        if (arrival_load_ < 1.0 && !rng_.chance(arrival_load_))
+            return kInvalidQueue;
         const QueueId q = subset_[idx_];
         idx_ = (idx_ + 1) % subset_.size();
         return q;
@@ -366,6 +375,7 @@ class SubsetRoundRobin : public Workload
   private:
     std::vector<QueueId> subset_;
     double request_load_;
+    double arrival_load_;
     std::size_t idx_ = 0;
 };
 

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cross-port traffic patterns for the switch layer (src/switch).
+ *
+ * A pattern decides how the switch's aggregate offered load is split
+ * across N ports and which per-port arrival process each port runs:
+ *
+ *  - uniform:     every port offers the same Bernoulli load;
+ *  - hotspot:     k "hot" ports absorb a configurable fraction of
+ *                 the switch's total arrivals, the rest share the
+ *                 remainder (output-hotspot congestion);
+ *  - incast:      long on/off bursts converge on one victim port
+ *                 while the other ports stay lightly loaded (the
+ *                 classic datacenter incast shape);
+ *  - permutation: each port's arrivals round-robin over a fixed
+ *                 affinity stripe of its VOQs, the stripe offset
+ *                 drawn from a seeded permutation (a fixed
+ *                 crossbar-permutation's port -> queue map).
+ *
+ * Pattern resolution is pure arithmetic on (pattern, port, ports,
+ * load, master seed): no global state, so any port's workload can be
+ * rebuilt in isolation -- the property behind the switch layer's
+ * port-order-independence guarantee.
+ */
+
+#ifndef PKTBUF_SWITCH_TRAFFIC_HH
+#define PKTBUF_SWITCH_TRAFFIC_HH
+
+#include <string>
+
+namespace pktbuf::sw
+{
+
+/** How the switch's aggregate traffic is spread over the ports. */
+enum class TrafficPattern
+{
+    Uniform,      //!< same Bernoulli load on every port
+    Hotspot,      //!< k hot ports take hotFraction of all arrivals
+    Incast,       //!< bursts converge on one victim port
+    Permutation,  //!< fixed port -> queue-stripe affinity map
+};
+
+/** @return the lower-case token ("uniform", "hotspot", ...). */
+std::string toString(TrafficPattern p);
+
+/**
+ * Parse a pattern token.
+ * @param token one of "uniform", "hotspot", "incast", "permutation"
+ * @param out   receives the pattern on success
+ * @return false when the token names no pattern
+ */
+bool parseTrafficPattern(const std::string &token, TrafficPattern &out);
+
+} // namespace pktbuf::sw
+
+#endif // PKTBUF_SWITCH_TRAFFIC_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shared helpers for the seeded fuzz-smoke tests: the PKTBUF_FUZZ_*
+ * environment knobs, parsed in one place so the fuzz suites cannot
+ * drift apart.
+ */
+
+#ifndef PKTBUF_TESTS_FUZZ_ENV_HH
+#define PKTBUF_TESTS_FUZZ_ENV_HH
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace pktbuf::testutil
+{
+
+/** Unsigned env knob with a fallback (the fuzz controls). */
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v && *v ? std::strtoull(v, nullptr, 0) : fallback;
+}
+
+} // namespace pktbuf::testutil
+
+#endif // PKTBUF_TESTS_FUZZ_ENV_HH

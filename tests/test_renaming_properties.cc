@@ -8,11 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <tuple>
 
 #include "buffer/hybrid_buffer.hh"
+#include "common/random.hh"
+#include "fuzz_env.hh"
 #include "sim/runner.hh"
 #include "sim/workload.hh"
 
@@ -103,6 +107,73 @@ TEST_P(RenamingProperty, FifoAndSpaceGuaranteesHold)
     // at least P - L names are free again.
     EXPECT_GE(buf.renaming()->freePhysCount(),
               static_cast<std::size_t>(extra));
+}
+
+/**
+ * Seeded fuzz smoke over the renaming envelope: random (logical,
+ * oversubscription, b, DRAM size, pattern) points with the same
+ * concentration-aware RR/t-SRAM sizing the parameterized grid uses.
+ * PKTBUF_FUZZ_ITERS scales the iteration count (default 3); CTest
+ * registers a longer fixed-seed pass under the `fuzz` label.  Any
+ * failing assert prints the master seed, iteration and leg seed via
+ * the surrounding SCOPED_TRACE.
+ */
+TEST(RenamingFuzzSmoke, RandomRenamingConfigsHoldGuarantees)
+{
+    const std::uint64_t master =
+        testutil::envU64("PKTBUF_FUZZ_SEED", 1);
+    const std::uint64_t iters =
+        testutil::envU64("PKTBUF_FUZZ_ITERS", 3);
+    Rng rng(master);
+    for (std::uint64_t it = 0; it < iters; ++it) {
+        // L >= 4, like the grid: fewer logical queues concentrate
+        // the 0.9 uniform load near the per-queue/group bandwidth
+        // bound, which is the documented infeasible region (the
+        // grids' capacity arguments), not a renaming bug.
+        const unsigned logical =
+            4 + static_cast<unsigned>(rng.below(5));  // 4..8
+        const unsigned extra =
+            4 + static_cast<unsigned>(rng.below(5));  // 4..8
+        const unsigned b = 1 + static_cast<unsigned>(rng.below(2));
+        const unsigned dram =
+            256u << rng.below(3);  // 256, 512, 1024
+        const int pat = static_cast<int>(rng.below(3));
+        const std::uint64_t seed = rng.next();
+
+        std::ostringstream desc;
+        desc << "fuzz iter " << it << ": L=" << logical << " x"
+             << extra << " b=" << b << " D=" << dram << " p=" << pat
+             << " leg_seed=" << seed << " (PKTBUF_FUZZ_SEED="
+             << master << " PKTBUF_FUZZ_ITERS=" << iters << ")";
+        SCOPED_TRACE(desc.str());
+
+        BufferConfig cfg;
+        cfg.params = model::BufferParams{logical + extra, 8, b, 32};
+        cfg.logicalQueues = logical;
+        cfg.renaming = true;
+        cfg.dramCells = dram;
+        // Concentration-aware sizing, exactly as the grid above.
+        cfg.rrCapacity =
+            2 * model::rrSize(cfg.params) + 2 * 64 / b + 16;
+        cfg.tailSramCells =
+            model::tailSramCells(cfg.params.queues, b) +
+            model::latencySlots(cfg.params) + 2 * 64;
+        try {
+            HybridBuffer buf(cfg);
+            auto wl = makeWorkload(pat, logical, seed);
+            SimRunner runner(buf, *wl);
+            const auto r = runner.run(10000);
+            EXPECT_GT(r.grants, 500u);
+            runner.drain(200000);
+            std::uint64_t left = 0;
+            for (QueueId q = 0; q < logical; ++q)
+                left += wl->credit(q);
+            EXPECT_EQ(left, 0u);
+            EXPECT_EQ(buf.report().dramResidentCells, 0u);
+        } catch (const std::exception &e) {
+            FAIL() << "buffer panicked: " << e.what();
+        }
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

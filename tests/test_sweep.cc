@@ -199,6 +199,59 @@ TEST(Emitters, JsonEscapingAndShapes)
         << csv;
 }
 
+TEST(Emitters, CsvQuotesCommasNewlinesAndQuotes)
+{
+    // RFC-4180: fields containing commas, quotes or newlines must be
+    // quoted (with embedded quotes doubled); everything else stays
+    // bare.  A comma leaking through unquoted silently shifts every
+    // later column of the row -- the worst kind of artifact rot.
+    std::vector<Task> tasks;
+    tasks.push_back(Task{"csv", [](const SweepContext &) {
+                             TaskResult r;
+                             Record rec;
+                             rec.set("comma", "a,b")
+                                 .set("newline", "l1\nl2")
+                                 .set("crlf", "l1\r\nl2")
+                                 .set("quote", "say \"hi\"")
+                                 .set("plain", "safe")
+                                 .set("empty", "")
+                                 .set("missing", Value());
+                             r.records.push_back(std::move(rec));
+                             return r;
+                         }});
+    const auto rep = runSweep(tasks, SweepOptions{});
+    const auto csv = toCsv(rep, tasks);
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos) << csv;
+    EXPECT_NE(csv.find("\"l1\nl2\""), std::string::npos) << csv;
+    EXPECT_NE(csv.find("\"l1\r\nl2\""), std::string::npos) << csv;
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos)
+        << csv;
+    // Bare fields stay unquoted.
+    EXPECT_NE(csv.find(",safe,"), std::string::npos) << csv;
+    EXPECT_EQ(csv.find("\"safe\""), std::string::npos) << csv;
+    // A Null value serializes as an empty field: the row must end
+    // with ",," then "" (empty string and missing are both empty).
+    const auto row = csv.substr(csv.find('\n') + 1);
+    EXPECT_NE(row.find(",,"), std::string::npos) << row;
+}
+
+TEST(Emitters, CsvQuotesHeaderNamesToo)
+{
+    // Field *names* become header cells and need the same quoting.
+    std::vector<Task> tasks;
+    tasks.push_back(Task{"hdr", [](const SweepContext &) {
+                             TaskResult r;
+                             Record rec;
+                             rec.set("odd,name", 1u).set("sane", 2u);
+                             r.records.push_back(std::move(rec));
+                             return r;
+                         }});
+    const auto rep = runSweep(tasks, SweepOptions{});
+    const auto csv = toCsv(rep, tasks);
+    const auto header = csv.substr(0, csv.find('\n'));
+    EXPECT_EQ(header, "task,\"odd,name\",sane") << csv;
+}
+
 TEST(Emitters, FailedTaskBecomesErrorRow)
 {
     std::vector<Task> tasks;

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Line-coverage gate for src/ (the CI "coverage" job).
+#
+# Builds an instrumented tree (PKTBUF_COVERAGE=ON), runs the whole
+# CTest suite, computes the union line coverage of src/ with
+# tools/coverage_percent.py (gcov --json-format under the hood), and
+# fails if it drops below the floor recorded in
+# tools/coverage_floor.txt -- the value measured when the coverage
+# gate was merged.  Raise the floor when coverage genuinely improves;
+# never lower it to make a PR pass.
+#
+# When lcov/genhtml are installed, an HTML report is also rendered to
+# $BUILD_DIR/coverage-html (uploaded as a CI artifact); its absence
+# only skips the report, never the gate.
+#
+# Env knobs: BUILD_DIR (default build-cov), JOBS (default nproc),
+# CTEST_ARGS (extra ctest arguments, e.g. -L unit for a quick look).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-cov}
+JOBS=${JOBS:-$(nproc)}
+FLOOR_FILE=tools/coverage_floor.txt
+
+cmake -B "$BUILD_DIR" -S . -DPKTBUF_COVERAGE=ON \
+      -DCMAKE_BUILD_TYPE=Debug > /dev/null
+cmake --build "$BUILD_DIR" -j"$JOBS" > /dev/null
+
+# Stale counters from a previous run would inflate the union.
+find "$BUILD_DIR" -name '*.gcda' -delete
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" \
+      ${CTEST_ARGS:-}
+
+pct=$(python3 tools/coverage_percent.py "$BUILD_DIR")
+floor=$(tr -d '[:space:]' < "$FLOOR_FILE")
+echo "src/ line coverage: ${pct}% (floor: ${floor}%)"
+
+if command -v lcov > /dev/null && command -v genhtml > /dev/null; then
+    lcov --capture --directory "$BUILD_DIR" \
+         --output-file "$BUILD_DIR/coverage.info" \
+         --rc branch_coverage=0 --quiet 2> /dev/null \
+      || lcov --capture --directory "$BUILD_DIR" \
+              --output-file "$BUILD_DIR/coverage.info" --quiet
+    lcov --extract "$BUILD_DIR/coverage.info" "$(pwd)/src/*" \
+         --output-file "$BUILD_DIR/coverage-src.info" --quiet
+    genhtml "$BUILD_DIR/coverage-src.info" \
+            --output-directory "$BUILD_DIR/coverage-html" --quiet
+    echo "HTML report: $BUILD_DIR/coverage-html/index.html"
+else
+    echo "lcov/genhtml not installed: skipping the HTML report"
+fi
+
+awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p + 1e-9 >= f) }' || {
+    echo "FAIL: coverage ${pct}% fell below the recorded floor" \
+         "${floor}% (tools/coverage_floor.txt)" >&2
+    exit 1
+}
+echo "coverage gate passed"

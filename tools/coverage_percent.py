@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage of src/ across a whole build tree.
+
+Walks BUILD_DIR for .gcda note files, runs `gcov --json-format -t`
+on each, and unions the per-line execution counts of every file
+under SRC_PREFIX (headers are compiled into many translation units;
+a line is covered if ANY unit executed it -- the same union lcov
+computes).  Prints a single percentage with one decimal on stdout.
+
+Usage: coverage_percent.py BUILD_DIR [SRC_PREFIX]
+
+SRC_PREFIX defaults to "<repo>/src" where <repo> is the parent of
+this script's directory.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    build_dir = os.path.abspath(sys.argv[1])
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src_prefix = os.path.abspath(
+        sys.argv[2] if len(sys.argv) > 2 else os.path.join(repo, "src"))
+
+    gcdas = []
+    for root, _dirs, files in os.walk(build_dir):
+        gcdas.extend(
+            os.path.join(root, f) for f in files if f.endswith(".gcda"))
+    if not gcdas:
+        print("no .gcda files under", build_dir, file=sys.stderr)
+        return 1
+
+    # (file, line) -> executed?  Union over all translation units.
+    lines: dict[tuple[str, int], bool] = {}
+    for gcda in sorted(gcdas):
+        proc = subprocess.run(
+            ["gcov", "--json-format", "-t", gcda],
+            capture_output=True,
+            text=True,
+            cwd=os.path.dirname(gcda),
+        )
+        if proc.returncode != 0:
+            print("gcov failed on", gcda, file=sys.stderr)
+            print(proc.stderr, file=sys.stderr)
+            return 1
+        # One JSON document per line (gcov emits one per .gcno).
+        for doc in proc.stdout.splitlines():
+            if not doc.strip():
+                continue
+            data = json.loads(doc)
+            for f in data.get("files", []):
+                path = f["file"]
+                if not os.path.isabs(path):
+                    path = os.path.join(data.get("current_working_directory",
+                                                 build_dir), path)
+                path = os.path.realpath(path)
+                if not path.startswith(src_prefix + os.sep):
+                    continue
+                for ln in f.get("lines", []):
+                    key = (path, ln["line_number"])
+                    lines[key] = lines.get(key, False) or ln["count"] > 0
+    if not lines:
+        print("no instrumented lines under", src_prefix, file=sys.stderr)
+        return 1
+
+    covered = sum(1 for hit in lines.values() if hit)
+    pct = 100.0 * covered / len(lines)
+    # Floor to one decimal so the printed value never overstates.
+    print(f"{int(pct * 10) / 10:.1f}")
+    print(f"covered {covered} of {len(lines)} lines under {src_prefix}",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
