@@ -89,6 +89,23 @@ timingLatencySlack(const BufferConfig &cfg)
     return 2 * slack + B;
 }
 
+/**
+ * Extra lookahead hiding grant concentration on few logical queues:
+ * model::concentrationSlackSlots (see its header comment for the
+ * bandwidth argument) applied to renaming configs.  The ECQF
+ * lookahead deepens by this many slots, and the enforced h-SRAM
+ * capacity grows by the same count, since each added slot can park
+ * at most one replenished-not-yet-consumed cell.
+ */
+std::uint64_t
+concentrationLookaheadSlack(const BufferConfig &cfg)
+{
+    if (!cfg.renaming)
+        return 0;
+    return model::concentrationSlackSlots(
+        cfg.params, cfg.effectiveLogicalQueues());
+}
+
 std::uint64_t
 resolveLookahead(const BufferConfig &cfg)
 {
@@ -97,7 +114,8 @@ resolveLookahead(const BufferConfig &cfg)
     if (cfg.mma == MmaKind::Mdqf)
         return 1; // no useful lookahead: pass-through stage
     return model::ecqfLookaheadSlots(cfg.params.queues,
-                                     std::max(cfg.params.gran, 1u));
+                                     std::max(cfg.params.gran, 1u)) +
+           concentrationLookaheadSlack(cfg);
 }
 
 std::uint64_t
@@ -133,7 +151,8 @@ resolveHeadCells(const BufferConfig &cfg, std::uint64_t lookahead)
     // under twice the analytical bound (see test_properties), so the
     // *enforced* capacity doubles the base term.  The analytical
     // figures (Figs. 8/10/11) use the paper's formulas unchanged.
-    return 2 * base + resolveLatency(cfg) + p.gran + 1;
+    return 2 * base + resolveLatency(cfg) + p.gran + 1 +
+           concentrationLookaheadSlack(cfg);
 }
 
 std::uint64_t
@@ -144,7 +163,12 @@ resolveTailCells(const BufferConfig &cfg)
     if (cfg.tailSramCells)
         return cfg.tailSramCells;
     const auto &p = cfg.params;
-    return model::tailSramCells(p.queues, p.gran) + resolveLatency(cfg);
+    // Concentration mirrors into the write path: while a hot chain's
+    // group is saturated the arriving cells park in the t-SRAM, so
+    // the same slack that deepens the lookahead pads the staging
+    // space (zero outside renaming L < 4).
+    return model::tailSramCells(p.queues, p.gran) +
+           resolveLatency(cfg) + concentrationLookaheadSlack(cfg);
 }
 
 std::uint64_t
@@ -169,7 +193,14 @@ resolveRrCapacity(const BufferConfig &cfg)
         const unsigned b = std::max(cfg.params.gran, 1u);
         timing_slack = 2 * (timingLatencySlack(cfg) / b + 2);
     }
-    return model::rrSize(cfg.params) + 4 + timing_slack;
+    // Concentrated renaming traffic (L < 4) defers writes behind the
+    // hot group's reads; each b deferred cells hold one RR entry, so
+    // the concentration slack pads the register too.
+    const std::uint64_t concentration_slack =
+        concentrationLookaheadSlack(cfg) /
+        std::max(cfg.params.gran, 1u);
+    return model::rrSize(cfg.params) + 4 + timing_slack +
+           concentration_slack;
 }
 
 std::uint64_t
@@ -576,6 +607,141 @@ HybridBuffer::step(const std::optional<Cell> &arrival, QueueId request)
 
     ++now_;
     return grant;
+}
+
+namespace
+{
+
+void
+saveU64Vec(ser::Writer &w, const std::vector<std::uint64_t> &v)
+{
+    w.u64(v.size());
+    for (const auto x : v)
+        w.u64(x);
+}
+
+void
+loadU64Vec(ser::Reader &r, std::vector<std::uint64_t> &v,
+           const char *what)
+{
+    const auto n = r.u64();
+    fatal_if(n != v.size(), "checkpoint: ", what, " has ", n,
+             " entries, configured ", v.size());
+    for (auto &x : v)
+        x = r.u64();
+}
+
+void
+savePipeEntry(ser::Writer &w, QueueId phys, QueueId logical)
+{
+    w.u32(phys);
+    w.u32(logical);
+}
+
+} // namespace
+
+void
+HybridBuffer::save(ser::Writer &w) const
+{
+    const auto save_pipe = [](ser::Writer &ww, const PipeEntry &e) {
+        savePipeEntry(ww, e.phys, e.logical);
+    };
+    w.tag("HBUF");
+    w.u64(now_);
+    banks_.save(w);
+    dram_.save(w);
+    tail_.save(w);
+    head_.save(w);
+    hmma_.save(w);
+    mdqf_.save(w);
+    tmma_.save(w);
+    look_.save(w, save_pipe);
+    w.b(latency_ != nullptr);
+    if (latency_)
+        latency_->save(w, save_pipe);
+    orr_.save(w);
+    sched_->save(w);
+    w.b(rt_ != nullptr);
+    if (rt_)
+        rt_->save(w);
+    saveU64Vec(w, next_read_issue_);
+    saveU64Vec(w, next_write_issue_);
+    saveU64Vec(w, replenish_seq_);
+    saveU64Vec(w, pending_unlaunched_writes_);
+    saveU64Vec(w, committed_);
+    w.u64(completions_.size());
+    for (const auto &c : completions_) {
+        w.u64(c.at);
+        w.u32(c.phys);
+        w.u64(c.replenishSeq);
+        w.u64(c.cells.size());
+        for (const auto &cell : c.cells)
+            cell.save(w);
+    }
+    stats_.save(w);
+    arrivals_.save(w);
+    grants_.save(w);
+    bypass_cells_.save(w);
+    dram_reads_.save(w);
+    dram_writes_.save(w);
+}
+
+void
+HybridBuffer::load(ser::Reader &r)
+{
+    const auto load_pipe = [](ser::Reader &rr) {
+        PipeEntry e;
+        e.phys = rr.u32();
+        e.logical = rr.u32();
+        return e;
+    };
+    r.tag("HBUF");
+    now_ = r.u64();
+    banks_.load(r);
+    dram_.load(r);
+    tail_.load(r);
+    head_.load(r);
+    hmma_.load(r);
+    mdqf_.load(r);
+    tmma_.load(r);
+    look_.load(r, load_pipe);
+    const bool has_latency = r.b();
+    fatal_if(has_latency != (latency_ != nullptr),
+             "checkpoint: latency register presence mismatch");
+    if (latency_)
+        latency_->load(r, load_pipe);
+    orr_.load(r);
+    sched_->load(r);
+    const bool has_rt = r.b();
+    fatal_if(has_rt != (rt_ != nullptr),
+             "checkpoint: renaming table presence mismatch");
+    if (rt_)
+        rt_->load(r);
+    loadU64Vec(r, next_read_issue_, "next_read_issue");
+    loadU64Vec(r, next_write_issue_, "next_write_issue");
+    loadU64Vec(r, replenish_seq_, "replenish_seq");
+    loadU64Vec(r, pending_unlaunched_writes_,
+               "pending_unlaunched_writes");
+    loadU64Vec(r, committed_, "committed");
+    completions_.clear();
+    const auto nc = r.u64();
+    for (std::uint64_t i = 0; i < nc; ++i) {
+        Completion c;
+        c.at = r.u64();
+        c.phys = r.u32();
+        c.replenishSeq = r.u64();
+        const auto ncell = r.u64();
+        c.cells.resize(ncell);
+        for (auto &cell : c.cells)
+            cell.load(r);
+        completions_.push_back(std::move(c));
+    }
+    stats_.load(r);
+    arrivals_.load(r);
+    grants_.load(r);
+    bypass_cells_.load(r);
+    dram_reads_.load(r);
+    dram_writes_.load(r);
 }
 
 BufferReport

@@ -90,6 +90,17 @@ class HybridBuffer : public PacketBuffer
     /** Named statistics (per-cause DSA stalls live here). */
     const StatRegistry &stats() const { return stats_; }
 
+    /**
+     * Checkpoint the full mutable state (clock, SRAM/DRAM contents,
+     * MMA counters, pipeline registers, DSS, renaming, statistics).
+     * Configuration is not serialized: restore requires a buffer
+     * constructed from the *same* BufferConfig, and load() validates
+     * the structural dimensions it can see.  Restoring a saved state
+     * and stepping to slot N is bit-identical to an unbroken run.
+     */
+    void save(ser::Writer &w) const;
+    void load(ser::Reader &r);
+
   private:
     /** What travels through the lookahead and latency registers. */
     struct PipeEntry

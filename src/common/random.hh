@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "logging.hh"
+#include "serialize.hh"
 
 namespace pktbuf
 {
@@ -84,6 +85,21 @@ class Rng
     chance(double p)
     {
         return uniform() < p;
+    }
+
+    /** Checkpoint: the four raw state words. */
+    void
+    save(ser::Writer &w) const
+    {
+        for (const auto word : state_)
+            w.u64(word);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        for (auto &word : state_)
+            word = r.u64();
     }
 
   private:

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "logging.hh"
+#include "serialize.hh"
 
 namespace pktbuf
 {
@@ -82,6 +83,37 @@ class ShiftRegister
         for (auto &v : slots_)
             v = idle_;
         head_ = 0;
+    }
+
+    /**
+     * Checkpoint: depth, head cursor and every stage, each written
+     * by the caller-supplied element serializer (the register is
+     * element-type-agnostic; the owner knows the wire format).
+     */
+    template <typename SaveElem>
+    void
+    save(ser::Writer &w, SaveElem &&save_elem) const
+    {
+        w.u64(slots_.size());
+        w.u64(head_);
+        for (const auto &v : slots_)
+            save_elem(w, v);
+    }
+
+    template <typename LoadElem>
+    void
+    load(ser::Reader &r, LoadElem &&load_elem)
+    {
+        const auto depth = r.u64();
+        fatal_if(depth != slots_.size(),
+                 "checkpoint: shift register depth ", depth,
+                 " != configured ", slots_.size());
+        const auto head = r.u64();
+        fatal_if(head >= slots_.size(),
+                 "checkpoint: shift register head out of range");
+        head_ = static_cast<std::size_t>(head);
+        for (auto &v : slots_)
+            v = load_elem(r);
     }
 
   private:

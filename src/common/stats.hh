@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "serialize.hh"
+
 namespace pktbuf
 {
 
@@ -31,6 +33,9 @@ class Counter
     std::uint64_t value() const { return value_; }
 
     void reset() { value_ = 0; }
+
+    void save(ser::Writer &w) const { w.u64(value_); }
+    void load(ser::Reader &r) { value_ = r.u64(); }
 
   private:
     std::uint64_t value_ = 0;
@@ -63,6 +68,24 @@ class Sampler
         sum_ = min_ = max_ = 0.0;
     }
 
+    void
+    save(ser::Writer &w) const
+    {
+        w.u64(count_);
+        w.real(sum_);
+        w.real(min_);
+        w.real(max_);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        count_ = r.u64();
+        sum_ = r.real();
+        min_ = r.real();
+        max_ = r.real();
+    }
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
@@ -84,6 +107,9 @@ class HighWater
     std::int64_t max() const { return max_; }
 
     void reset() { max_ = 0; }
+
+    void save(ser::Writer &w) const { w.i64(max_); }
+    void load(ser::Reader &r) { max_ = r.i64(); }
 
   private:
     std::int64_t max_ = 0;
@@ -124,11 +150,66 @@ class Histogram
     /** Value below which the given fraction of samples fall. */
     double percentile(double frac) const;
 
+    void save(ser::Writer &w) const;
+    void load(ser::Reader &r);
+
   private:
     double width_;
     std::vector<std::uint64_t> counts_;
     std::uint64_t underflow_ = 0;
     Sampler sampler_;
+};
+
+/**
+ * Streaming quantile estimator (Jain & Chlamtac's P-squared
+ * algorithm): tracks one quantile of an unbounded sample stream in
+ * O(1) memory -- five markers whose heights approximate the
+ * quantile, refined by parabolic interpolation as samples arrive.
+ *
+ * Accuracy: *exact* for the first five samples (they are kept sorted
+ * verbatim and interpolated at rank p*(n-1)); beyond that the
+ * estimate converges to the true quantile with error that shrinks as
+ * the sample count grows (empirically well under 1% of the sample
+ * range for smooth distributions) -- and, unlike the fixed-width
+ * Histogram, it is never clamped to a bucket edge, so tail quantiles
+ * (p99 at 256+ ports) keep their resolution.  Deterministic: the
+ * estimate is a pure function of the sample sequence.
+ */
+class P2Quantile
+{
+  public:
+    explicit P2Quantile(double prob = 0.5) : prob_(prob) { init(); }
+
+    void sample(double v);
+
+    /** Current quantile estimate (0 before any sample). */
+    double quantile() const;
+
+    std::uint64_t count() const { return count_; }
+    double prob() const { return prob_; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        init();
+    }
+
+    void save(ser::Writer &w) const;
+    void load(ser::Reader &r);
+
+  private:
+    void init();
+
+    double prob_;
+    std::uint64_t count_ = 0;
+    // While count_ < 5: q_[0..count_) holds the sorted samples.
+    // After: the five P² markers (heights q_, positions n_, desired
+    // positions np_, increments dn_).
+    double q_[5] = {};
+    double n_[5] = {};
+    double np_[5] = {};
+    double dn_[5] = {};
 };
 
 /**
@@ -142,6 +223,20 @@ class StatRegistry
     Sampler &sampler(const std::string &name) { return samplers_[name]; }
     HighWater &highWater(const std::string &name) { return waters_[name]; }
 
+    /**
+     * Named streaming quantile (O(1) memory in the sample count).
+     * The probability is fixed at first registration; re-requesting
+     * an existing name returns the existing estimator.
+     */
+    P2Quantile &
+    quantile(const std::string &name, double prob)
+    {
+        auto it = quantiles_.find(name);
+        if (it == quantiles_.end())
+            it = quantiles_.emplace(name, P2Quantile(prob)).first;
+        return it->second;
+    }
+
     void dump(std::ostream &os) const;
 
     std::uint64_t
@@ -151,10 +246,20 @@ class StatRegistry
         return it == counters_.end() ? 0 : it->second.value();
     }
 
+    /**
+     * Checkpoint.  load() assigns into existing entries (inserting
+     * missing ones) and never clears the maps: components hold
+     * pointers and references to entries across save/restore, and
+     * std::map nodes are stable, so those stay valid.
+     */
+    void save(ser::Writer &w) const;
+    void load(ser::Reader &r);
+
   private:
     std::map<std::string, Counter> counters_;
     std::map<std::string, Sampler> samplers_;
     std::map<std::string, HighWater> waters_;
+    std::map<std::string, P2Quantile> quantiles_;
 };
 
 } // namespace pktbuf

@@ -12,6 +12,8 @@
 #include <limits>
 #include <string>
 
+#include "serialize.hh"
+
 namespace pktbuf
 {
 
@@ -60,6 +62,22 @@ struct Cell
     valid() const
     {
         return queue != kInvalidQueue;
+    }
+
+    void
+    save(ser::Writer &w) const
+    {
+        w.u32(queue);
+        w.u64(seq);
+        w.u64(arrival);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        queue = r.u32();
+        seq = r.u64();
+        arrival = r.u64();
     }
 };
 

@@ -99,6 +99,30 @@ class BankState
 
     std::uint64_t accesses() const { return accesses_.value(); }
 
+    /** Checkpoint: busy horizons + access counter (timings are
+     *  configuration and are rebuilt, not serialized). */
+    void
+    save(ser::Writer &w) const
+    {
+        w.tag("BANK");
+        w.u64(busy_until_.size());
+        for (const auto bu : busy_until_)
+            w.u64(bu);
+        accesses_.save(w);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        r.tag("BANK");
+        const auto n = r.u64();
+        fatal_if(n != busy_until_.size(), "checkpoint: ", n,
+                 " banks, configured ", busy_until_.size());
+        for (auto &bu : busy_until_)
+            bu = r.u64();
+        accesses_.load(r);
+    }
+
   private:
     std::vector<Slot> busy_until_;
     Slot access_slots_;

@@ -125,6 +125,52 @@ class DramStore
                  "recycling non-empty queue ", p);
     }
 
+    /** Checkpoint: group occupancies and every queue's blocks. */
+    void
+    save(ser::Writer &w) const
+    {
+        w.tag("DRAM");
+        w.u64(group_cells_.size());
+        for (const auto g : group_cells_)
+            w.u64(g);
+        w.u64(queues_.size());
+        for (const auto &qq : queues_) {
+            w.u64(qq.blocks.size());
+            for (const auto &[ordinal, cells] : qq.blocks) {
+                w.u64(ordinal);
+                w.u64(cells.size());
+                for (const auto &c : cells)
+                    c.save(w);
+            }
+        }
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        r.tag("DRAM");
+        const auto ng = r.u64();
+        fatal_if(ng != group_cells_.size(), "checkpoint: DRAM has ",
+                 ng, " groups, configured ", group_cells_.size());
+        for (auto &g : group_cells_)
+            g = r.u64();
+        const auto nq = r.u64();
+        fatal_if(nq != queues_.size(), "checkpoint: DRAM has ", nq,
+                 " queues, configured ", queues_.size());
+        for (auto &qq : queues_) {
+            qq.blocks.clear();
+            const auto nb = r.u64();
+            for (std::uint64_t i = 0; i < nb; ++i) {
+                const auto ordinal = r.u64();
+                const auto nc = r.u64();
+                std::vector<Cell> cells(nc);
+                for (auto &c : cells)
+                    c.load(r);
+                qq.blocks.emplace(ordinal, std::move(cells));
+            }
+        }
+    }
+
   private:
     struct QueueData
     {

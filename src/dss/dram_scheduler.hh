@@ -107,6 +107,33 @@ class DramScheduler
     /** Delay from MMA issue to DSA launch, in slots. */
     const Sampler &queueDelay() const { return queue_delay_; }
 
+    /** Checkpoint.  The ORR reference and the pre-resolved registry
+     *  counter pointers are wiring, rebuilt by the constructor; the
+     *  registry counters themselves restore with the registry. */
+    void
+    save(ser::Writer &w) const
+    {
+        w.tag("DSAS");
+        rr_.save(w);
+        launches_.save(w);
+        stalls_.save(w);
+        for (const auto &c : stall_cause_)
+            c.save(w);
+        queue_delay_.save(w);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        r.tag("DSAS");
+        rr_.load(r);
+        launches_.load(r);
+        stalls_.load(r);
+        for (auto &c : stall_cause_)
+            c.load(r);
+        queue_delay_.load(r);
+    }
+
   private:
     static dram::AccessKind
     accessKind(const DramRequest &r)

@@ -124,6 +124,39 @@ class OngoingRequests
     Slot accessSlots() const { return timing_->baseTRc(); }
     const dram::DramTiming &timing() const { return *timing_; }
 
+    /** Checkpoint: lock entries and the turnaround horizons.  The
+     *  timing policy is configuration (rebuilt, not serialized). */
+    void
+    save(ser::Writer &w) const
+    {
+        w.tag("ORRG");
+        w.u64(entries_.size());
+        for (const auto &e : entries_) {
+            w.u32(e.bank);
+            w.u64(e.until);
+        }
+        w.u64(read_ok_);
+        w.u64(write_ok_);
+        high_water_.save(w);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        r.tag("ORRG");
+        entries_.clear();
+        const auto n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Entry e;
+            e.bank = r.u32();
+            e.until = r.u64();
+            entries_.push_back(e);
+        }
+        read_ok_ = r.u64();
+        write_ok_ = r.u64();
+        high_water_.load(r);
+    }
+
   private:
     struct Entry
     {

@@ -34,6 +34,30 @@ struct DramRequest
     Slot issued = 0;
     /** Times this request has been skipped over by the DSA. */
     unsigned skips = 0;
+
+    void
+    save(ser::Writer &w) const
+    {
+        w.u8(kind == Kind::Read ? 0 : 1);
+        w.u32(physQueue);
+        w.u64(blockOrdinal);
+        w.u32(bank);
+        w.u64(replenishSeq);
+        w.u64(issued);
+        w.u32(skips);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        kind = r.u8() == 0 ? Kind::Read : Kind::Write;
+        physQueue = r.u32();
+        blockOrdinal = r.u64();
+        bank = r.u32();
+        replenishSeq = r.u64();
+        issued = r.u64();
+        skips = r.u32();
+    }
 };
 
 } // namespace pktbuf::dss

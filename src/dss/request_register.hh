@@ -144,6 +144,33 @@ class RequestRegister
     /** Oldest-first iteration for tests and introspection. */
     const std::deque<DramRequest> &entries() const { return entries_; }
 
+    /** Checkpoint: pending requests oldest-first + watermarks. */
+    void
+    save(ser::Writer &w) const
+    {
+        w.tag("RREG");
+        w.u64(entries_.size());
+        for (const auto &e : entries_)
+            e.save(w);
+        high_water_.save(w);
+        max_skips_.save(w);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        r.tag("RREG");
+        entries_.clear();
+        const auto n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            DramRequest req;
+            req.load(r);
+            entries_.push_back(req);
+        }
+        high_water_.load(r);
+        max_skips_.load(r);
+    }
+
   private:
     static bool
     contains(const std::vector<QueueId> &v, QueueId q)

@@ -14,6 +14,7 @@
 #ifndef PKTBUF_MMA_ECQF_HH
 #define PKTBUF_MMA_ECQF_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -116,6 +117,35 @@ class EcqfMma
     }
 
     std::int64_t occupancy(QueueId p) const { return occ_[p]; }
+
+    /**
+     * Checkpoint: only the occupancy counters are architectural.
+     * Scratch counters and epochs exist solely *within* one scan()
+     * call (every scan starts by bumping the epoch, which
+     * invalidates all scratch state), so restore resets them.
+     */
+    void
+    save(ser::Writer &w) const
+    {
+        w.tag("ECQF");
+        w.u64(occ_.size());
+        for (const auto o : occ_)
+            w.i64(o);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        r.tag("ECQF");
+        const auto n = r.u64();
+        fatal_if(n != occ_.size(), "checkpoint: ECQF has ", n,
+                 " queues, configured ", occ_.size());
+        for (auto &o : occ_)
+            o = r.i64();
+        std::fill(scratch_.begin(), scratch_.end(), 0);
+        std::fill(epoch_.begin(), epoch_.end(), 0);
+        scan_epoch_ = 0;
+    }
 
   private:
     std::int64_t &

@@ -66,6 +66,26 @@ class MdqfMma
 
     std::int64_t occupancy(QueueId p) const { return occ_[p]; }
 
+    void
+    save(ser::Writer &w) const
+    {
+        w.tag("MDQF");
+        w.u64(occ_.size());
+        for (const auto o : occ_)
+            w.i64(o);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        r.tag("MDQF");
+        const auto n = r.u64();
+        fatal_if(n != occ_.size(), "checkpoint: MDQF has ", n,
+                 " queues, configured ", occ_.size());
+        for (auto &o : occ_)
+            o = r.i64();
+    }
+
   private:
     std::int64_t &
     occ(QueueId p)

@@ -12,6 +12,7 @@
 
 #include <functional>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace pktbuf::mma
@@ -43,6 +44,23 @@ class TailMma
             }
         }
         return kInvalidQueue;
+    }
+
+    /** Checkpoint: the round-robin cursor. */
+    void
+    save(ser::Writer &w) const
+    {
+        w.tag("TMMA");
+        w.u32(next_);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        r.tag("TMMA");
+        next_ = r.u32();
+        fatal_if(queues_ && next_ >= queues_,
+                 "checkpoint: tail MMA cursor out of range");
     }
 
   private:

@@ -151,6 +151,17 @@ orrSize(const BufferParams &p)
     return bb == 0 ? 0 : bb - 1;
 }
 
+std::uint64_t
+concentrationSlackSlots(const BufferParams &p,
+                        unsigned logical_queues)
+{
+    if (logical_queues == 0 || logical_queues >= 4)
+        return 0;
+    if (logical_queues == 1)
+        return 32ull * p.granRads;
+    return 4ull * p.granRads / logical_queues;
+}
+
 double
 schedBudgetNs(const BufferParams &p, LineRate rate)
 {

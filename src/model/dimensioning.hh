@@ -105,6 +105,26 @@ std::uint64_t cfdsSramCells(std::uint64_t lookahead, const BufferParams &p);
 std::uint64_t orrSize(const BufferParams &p);
 
 /**
+ * Extra SRAM/lookahead slots absorbing grant concentration when
+ * queue renaming runs with fewer than 4 *logical* queues (the
+ * concentration bound the renaming property suites document).  The
+ * whole grant stream funnels through one physical chain, and every
+ * chain-element boundary restarts the replenish pipeline on a fresh
+ * physical queue whose bank group also absorbs the matching writes:
+ * for L in {2,3} (per-queue rate <= 1/2 line rate, so read+write
+ * demand fits one group's bandwidth) the boundary transient needs
+ * 4B/L slots; for L == 1 the chain's sole element is head and tail
+ * at once, its group transiently serves ~2x its bandwidth until a
+ * spill splits the streams, and the accumulated lag needs 32B slots
+ * (validated MISS-free at 4x the property-suite horizon).  Applies
+ * to the ECQF lookahead, the enforced h-SRAM capacity, and the
+ * t-SRAM headroom for the mirrored write backlog; zero for L >= 4
+ * or without renaming.
+ */
+std::uint64_t concentrationSlackSlots(const BufferParams &p,
+                                      unsigned logical_queues);
+
+/**
  * Time available to schedule one request: a new DRAM access begins
  * every b slots (Table 2, "Sched. time").
  */

@@ -7,10 +7,25 @@
  *
  * Cells are assigned to the tail physical queue on arrival; when the
  * tail's bank group runs out of DRAM space a fresh physical queue is
- * allocated from the group with the most free space, so one logical
- * queue can occupy the whole DRAM.  Scheduler requests drain the
- * head physical queue; a fully drained element retires and its
- * physical queue returns to the free pool.
+ * allocated, so one logical queue can occupy the whole DRAM.
+ * Scheduler requests drain the head physical queue; a fully drained
+ * element retires and its physical queue returns to the free pool.
+ *
+ * Allocation is bandwidth-aware: a group's banks sustain roughly one
+ * access per slot, and the only chain elements consuming that
+ * bandwidth are heads (DRAM reads) and tails (DRAM writes).  Picking
+ * the group with the most free *space* is actively harmful -- the
+ * group a hot head is draining is exactly the one gaining free cells,
+ * so tails would chase the reads into an already saturated group and
+ * the combined demand (up to ~2 cells/slot for one full-rate logical
+ * queue) would exceed what the group can serve, stalling replenish
+ * reads until the h-SRAM misses.  Instead the allocator picks the
+ * group hosting the fewest chain heads/tails, breaking ties toward
+ * the most free space.  (A single *logical* queue still collides
+ * with itself -- its chain's sole element is head and tail at once
+ * -- which no allocation policy can split; the buffer hides that
+ * phase with extra replenish lookahead instead, see
+ * concentrationLookaheadSlack in hybrid_buffer.cc.)
  *
  * Physical queues are oversubscribed (P >= Q logical) so every
  * active logical queue always has at least one.
@@ -190,6 +205,66 @@ class RenamingTable
         return n;
     }
 
+    /** Checkpoint: every register chain and the per-group free
+     *  pools (order matters -- allocation pops the front). */
+    void
+    save(ser::Writer &w) const
+    {
+        w.tag("RNTB");
+        w.u64(regs_.size());
+        for (const auto &reg : regs_) {
+            w.u64(reg.req_idx);
+            w.u64(reg.elems.size());
+            for (const auto &e : reg.elems) {
+                w.u32(e.phys);
+                w.u64(e.assigned);
+                w.u64(e.requested);
+                w.u64(e.granted);
+            }
+        }
+        w.u64(free_pool_.size());
+        for (const auto &pool : free_pool_) {
+            w.u64(pool.size());
+            for (const auto p : pool)
+                w.u32(p);
+        }
+        renames_.save(w);
+        recycles_.save(w);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        r.tag("RNTB");
+        const auto nq = r.u64();
+        fatal_if(nq != regs_.size(), "checkpoint: renaming table has ",
+                 nq, " logical queues, configured ", regs_.size());
+        for (auto &reg : regs_) {
+            reg.req_idx = r.u64();
+            reg.elems.clear();
+            const auto ne = r.u64();
+            for (std::uint64_t i = 0; i < ne; ++i) {
+                Element e;
+                e.phys = r.u32();
+                e.assigned = r.u64();
+                e.requested = r.u64();
+                e.granted = r.u64();
+                reg.elems.push_back(e);
+            }
+        }
+        const auto ng = r.u64();
+        fatal_if(ng != free_pool_.size(), "checkpoint: ", ng,
+                 " free pools, configured ", free_pool_.size());
+        for (auto &pool : free_pool_) {
+            pool.clear();
+            const auto np = r.u64();
+            for (std::uint64_t i = 0; i < np; ++i)
+                pool.push_back(r.u32());
+        }
+        renames_.load(r);
+        recycles_.load(r);
+    }
+
   private:
     struct Element
     {
@@ -214,20 +289,48 @@ class RenamingTable
     }
 
     /**
-     * Group with the most free DRAM space that still has a free
-     * physical name and room for at least one cell, or -1.
+     * Bank-bandwidth demand proxy per group: +1 for every register's
+     * head element (replenish reads drain it) and +1 for every tail
+     * element (arrival writes fill it).  A single-element chain adds
+     * 2 to its group -- it carries that queue's reads and writes.
+     * Dormant middle elements cost no bandwidth and are not counted.
+     */
+    std::vector<unsigned>
+    groupLoads() const
+    {
+        std::vector<unsigned> load(groups_, 0);
+        for (const auto &reg : regs_) {
+            if (reg.elems.empty())
+                continue;
+            ++load[groupOf(reg.elems.front().phys)];
+            ++load[groupOf(reg.elems.back().phys)];
+        }
+        return load;
+    }
+
+    /**
+     * Allocation target: the group with a free physical name and
+     * room for at least one cell that hosts the fewest active chain
+     * heads/tails, ties broken toward the most free space; -1 when
+     * no group qualifies.
      */
     int
     pickGroup(const GroupFreeFn &group_free) const
     {
+        const auto load = groupLoads();
         int best = -1;
+        unsigned best_load = 0;
         std::uint64_t best_free = 0;
         for (unsigned g = 0; g < groups_; ++g) {
             if (free_pool_[g].empty())
                 continue;
             const auto fr = group_free(g);
-            if (fr >= 1 && (best < 0 || fr > best_free)) {
+            if (fr < 1)
+                continue;
+            if (best < 0 || load[g] < best_load ||
+                (load[g] == best_load && fr > best_free)) {
                 best = static_cast<int>(g);
+                best_load = load[g];
                 best_free = fr;
             }
         }

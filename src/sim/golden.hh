@@ -53,6 +53,29 @@ class GoldenChecker
     /** Cells granted so far on one queue. */
     std::uint64_t served(QueueId q) const { return expected_[q]; }
 
+    /** Checkpoint: per-queue expected sequence numbers + total. */
+    void
+    save(ser::Writer &w) const
+    {
+        w.tag("GLDN");
+        w.u64(expected_.size());
+        for (const auto e : expected_)
+            w.u64(e);
+        w.u64(granted_);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        r.tag("GLDN");
+        const auto n = r.u64();
+        fatal_if(n != expected_.size(), "checkpoint: golden checker has ",
+                 n, " queues, configured ", expected_.size());
+        for (auto &e : expected_)
+            e = r.u64();
+        granted_ = r.u64();
+    }
+
   private:
     std::vector<SeqNum> expected_;
     std::uint64_t granted_ = 0;

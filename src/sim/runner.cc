@@ -37,6 +37,28 @@ SimRunner::run(std::uint64_t slots)
     return r;
 }
 
+void
+SimRunner::save(ser::Writer &w) const
+{
+    w.tag("SRUN");
+    checker_.save(w);
+    delay_.save(w);
+    w.u64(arrivals_);
+    w.u64(grants_);
+    w.u64(slots_);
+}
+
+void
+SimRunner::load(ser::Reader &r)
+{
+    r.tag("SRUN");
+    checker_.load(r);
+    delay_.load(r);
+    arrivals_ = r.u64();
+    grants_ = r.u64();
+    slots_ = r.u64();
+}
+
 std::uint64_t
 SimRunner::drain(std::uint64_t max_slots)
 {

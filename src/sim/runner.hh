@@ -49,6 +49,15 @@ class SimRunner
      *  budget runs out).  Returns grants delivered while draining. */
     std::uint64_t drain(std::uint64_t max_slots);
 
+    /**
+     * Checkpoint the runner's own accumulators (golden checker,
+     * delay sampler, counters).  The buffer and workload are saved
+     * separately by the soak layer; restoring pairs this state with
+     * a runner constructed over the restored buffer/workload.
+     */
+    void save(ser::Writer &w) const;
+    void load(ser::Reader &r);
+
   private:
     buffer::PacketBuffer &buf_;
     Workload &wl_;

@@ -125,56 +125,66 @@ runScenario(const Scenario &s)
     return runScenarioWith(s, *wl);
 }
 
+void
+completeScenario(const Scenario &s, buffer::HybridBuffer &buf,
+                 SimRunner &runner, Workload &wl,
+                 ScenarioOutcome &out, std::string &why)
+{
+    std::ostringstream os;
+
+    std::uint64_t credits = 0;
+    for (QueueId q = 0; q < wl.queues(); ++q)
+        credits += wl.credit(q);
+    // Steady-state drain delivers ~1 cell/slot; the budget leaves
+    // generous slack for pipeline refill and bank conflicts.
+    const std::uint64_t budget =
+        8 * credits + 16 * buf.pipelineDepth() +
+        64ull * s.granRads + 4096;
+    out.drained = runner.drain(budget);
+
+    out.verified = runner.checker().granted();
+    out.report = buf.report();
+    for (QueueId q = 0; q < wl.queues(); ++q)
+        out.undelivered += wl.credit(q);
+
+    if (out.verified != out.run.grants + out.drained) {
+        os << "golden checker saw " << out.verified
+           << " grants, runner counted "
+           << out.run.grants + out.drained << "; ";
+    }
+    if (out.undelivered != 0) {
+        os << out.undelivered
+           << " cells arrived but were never granted; ";
+    }
+    if (out.verified != out.run.arrivals) {
+        os << "delivered " << out.verified << " of "
+           << out.run.arrivals << " admitted arrivals; ";
+    }
+    if (out.verified == 0)
+        os << "leg delivered no cells at all; ";
+
+    why += os.str();
+}
+
 ScenarioOutcome
 runScenarioWith(const Scenario &s, Workload &wl)
 {
     ScenarioOutcome out;
-    std::ostringstream why;
+    std::string why;
     try {
         buffer::HybridBuffer buf(s.bufferConfig());
         SimRunner runner(buf, wl, /*check=*/true);
         out.run = runner.run(s.slots);
-
-        std::uint64_t credits = 0;
-        for (QueueId q = 0; q < wl.queues(); ++q)
-            credits += wl.credit(q);
-        // Steady-state drain delivers ~1 cell/slot; the budget leaves
-        // generous slack for pipeline refill and bank conflicts.
-        const std::uint64_t budget =
-            8 * credits + 16 * buf.pipelineDepth() +
-            64ull * s.granRads + 4096;
-        out.drained = runner.drain(budget);
-
-        out.verified = runner.checker().granted();
-        out.report = buf.report();
-        for (QueueId q = 0; q < wl.queues(); ++q)
-            out.undelivered += wl.credit(q);
-
-        if (out.verified != out.run.grants + out.drained) {
-            why << "golden checker saw " << out.verified
-                << " grants, runner counted "
-                << out.run.grants + out.drained << "; ";
-        }
-        if (out.undelivered != 0) {
-            why << out.undelivered
-                << " cells arrived but were never granted; ";
-        }
-        if (out.verified != out.run.arrivals) {
-            why << "delivered " << out.verified << " of "
-                << out.run.arrivals << " admitted arrivals; ";
-        }
-        if (out.verified == 0)
-            why << "leg delivered no cells at all; ";
+        completeScenario(s, buf, runner, wl, out, why);
     } catch (const std::exception &e) {
-        why << "exception: " << e.what() << "; ";
+        why += std::string("exception: ") + e.what() + "; ";
     }
 
-    out.passed = why.str().empty();
+    out.passed = why.empty();
     if (!out.passed) {
         // Always name the scenario and seed so the leg can be
         // replayed from the log alone.
-        why << "[" << s.describe() << "]";
-        out.failure = why.str();
+        out.failure = why + "[" + s.describe() + "]";
     }
     return out;
 }

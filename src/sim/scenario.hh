@@ -28,6 +28,11 @@
 #include "sim/runner.hh"
 #include "sim/workload.hh"
 
+namespace pktbuf::buffer
+{
+class HybridBuffer;
+} // namespace pktbuf::buffer
+
 namespace pktbuf::sim
 {
 
@@ -166,6 +171,21 @@ ScenarioOutcome runScenario(const Scenario &s);
  * @return the outcome; `passed` is false iff any invariant broke
  */
 ScenarioOutcome runScenarioWith(const Scenario &s, Workload &wl);
+
+/**
+ * Shared completion path for a leg whose main phase (`runner.run`)
+ * has already happened: drain every remaining credited cell, verify
+ * the golden totals and fill out.drained / verified / undelivered /
+ * report.  Diagnostic text for any broken invariant is appended to
+ * `why` (left empty iff the leg passed).  The soak layer's
+ * checkpoint-segmented runs finish through this exact function so
+ * their outcomes are bit-identical to an unbroken runScenarioWith().
+ * May propagate exceptions (drain-phase panics); callers convert
+ * them to failures the same way runScenarioWith() does.
+ */
+void completeScenario(const Scenario &s, buffer::HybridBuffer &buf,
+                      SimRunner &runner, Workload &wl,
+                      ScenarioOutcome &out, std::string &why);
 
 /**
  * Full sweep: 3 variants x 4 workloads x several (Q, B, b) grids.

@@ -103,11 +103,51 @@ class Workload
 
     virtual std::string name() const = 0;
 
+    /**
+     * Checkpoint the generator state: RNG stream position, credits,
+     * sequence stamps, drops, plus whatever cursors the concrete
+     * pattern keeps (via saveExtra/loadExtra).  Restore requires a
+     * workload constructed with the same parameters.
+     */
+    void
+    save(ser::Writer &w) const
+    {
+        w.tag("WLOD");
+        rng_.save(w);
+        w.u64(credit_.size());
+        for (const auto c : credit_)
+            w.u64(c);
+        for (const auto s : next_seq_)
+            w.u64(s);
+        w.u64(drops_);
+        saveExtra(w);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        r.tag("WLOD");
+        rng_.load(r);
+        const auto n = r.u64();
+        fatal_if(n != credit_.size(), "checkpoint: workload has ", n,
+                 " queues, configured ", credit_.size());
+        for (auto &c : credit_)
+            c = r.u64();
+        for (auto &s : next_seq_)
+            s = r.u64();
+        drops_ = r.u64();
+        loadExtra(r);
+    }
+
   protected:
     /** Queue receiving a cell this slot, or kInvalidQueue. */
     virtual QueueId arrivalQueue(Slot now) = 0;
     /** Queue to request this slot (must have credit), or invalid. */
     virtual QueueId requestQueue(Slot now) = 0;
+
+    /** Pattern-specific checkpoint state (cursors, burst windows). */
+    virtual void saveExtra(ser::Writer &) const {}
+    virtual void loadExtra(ser::Reader &) {}
 
     /** First queue with credit at or after `from`, cyclic. */
     QueueId
@@ -207,6 +247,20 @@ class RoundRobinWorstCase : public Workload
         return q;
     }
 
+    void
+    saveExtra(ser::Writer &w) const override
+    {
+        w.u32(arr_);
+        w.u32(req_);
+    }
+
+    void
+    loadExtra(ser::Reader &r) override
+    {
+        arr_ = r.u32();
+        req_ = r.u32();
+    }
+
   private:
     double load_;
     std::uint64_t warmup_;
@@ -292,6 +346,20 @@ class BurstyOnOff : public Workload
         return unbiased_ ? uniformRequestable() : randomRequestable();
     }
 
+    void
+    saveExtra(ser::Writer &w) const override
+    {
+        w.u32(hot_);
+        w.u64(remaining_);
+    }
+
+    void
+    loadExtra(ser::Reader &r) override
+    {
+        hot_ = r.u32();
+        remaining_ = r.u64();
+    }
+
   private:
     std::uint64_t burst_len_;
     double load_;
@@ -372,6 +440,20 @@ class SubsetRoundRobin : public Workload
         return randomRequestable();
     }
 
+    void
+    saveExtra(ser::Writer &w) const override
+    {
+        w.u64(idx_);
+    }
+
+    void
+    loadExtra(ser::Reader &r) override
+    {
+        idx_ = r.u64();
+        fatal_if(idx_ >= subset_.size(),
+                 "checkpoint: subset cursor out of range");
+    }
+
   private:
     std::vector<QueueId> subset_;
     double request_load_;
@@ -434,6 +516,26 @@ class PermutedDrain : public Workload
                 reshuffle();
         }
         return kInvalidQueue;
+    }
+
+    void
+    saveExtra(ser::Writer &w) const override
+    {
+        for (const auto q : perm_)
+            w.u32(q);
+        w.u32(pos_);
+        w.u32(arr_);
+    }
+
+    void
+    loadExtra(ser::Reader &r) override
+    {
+        for (auto &q : perm_)
+            q = r.u32();
+        pos_ = r.u32();
+        arr_ = r.u32();
+        fatal_if(pos_ > queues_ || arr_ >= queues_,
+                 "checkpoint: permuted-drain cursor out of range");
     }
 
   private:

@@ -1,0 +1,159 @@
+#include "checkpoint.hh"
+
+#include <exception>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace pktbuf::soak
+{
+
+std::string
+sealCheckpoint(const std::string &payload,
+               std::uint64_t config_fingerprint)
+{
+    ser::Writer w;
+    w.tag("PKCK");
+    w.u32(kCheckpointVersion);
+    w.u64(config_fingerprint);
+    w.str(payload);
+    w.u64(ser::fnv1a(payload));
+    return w.take();
+}
+
+std::string
+openCheckpoint(const std::string &bytes,
+               std::uint64_t config_fingerprint)
+{
+    ser::Reader r(bytes);
+    r.tag("PKCK");
+    const auto version = r.u32();
+    fatal_if(version != kCheckpointVersion, "checkpoint: version ",
+             version, " not supported (this build reads ",
+             kCheckpointVersion, ")");
+    const auto fp = r.u64();
+    fatal_if(fp != config_fingerprint,
+             "checkpoint: built for a different configuration "
+             "(fingerprint ", fp, ", this leg is ",
+             config_fingerprint, ")");
+    std::string payload = r.str();
+    const auto sum = r.u64();
+    fatal_if(sum != ser::fnv1a(payload),
+             "checkpoint: payload checksum mismatch (corrupt file?)");
+    r.done();
+    return payload;
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    fatal_if(!f, "cannot open ", path, " for writing");
+    f.write(bytes.data(),
+            static_cast<std::streamsize>(bytes.size()));
+    f.flush();
+    fatal_if(!f, "short write to ", path);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    fatal_if(!f, "cannot open ", path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    fatal_if(f.bad(), "read error on ", path);
+    return os.str();
+}
+
+ScenarioRun::ScenarioRun(const sim::Scenario &s, WorkloadFactory factory)
+    : s_(s), fingerprint_(ser::fnv1a(s.describe())),
+      wl_(factory ? factory() : sim::makeWorkload(s)),
+      buf_(std::make_unique<buffer::HybridBuffer>(s.bufferConfig())),
+      runner_(std::make_unique<sim::SimRunner>(*buf_, *wl_,
+                                               /*check=*/true))
+{}
+
+void
+ScenarioRun::runTo(std::uint64_t slot)
+{
+    fatal_if(slot < executed_, "cannot run backwards to slot ", slot,
+             " (already at ", executed_, ")");
+    fatal_if(slot > s_.slots, "slot ", slot,
+             " beyond the leg's main phase (", s_.slots, " slots)");
+    last_ = runner_->run(slot - executed_);
+    executed_ = slot;
+}
+
+std::string
+ScenarioRun::checkpoint() const
+{
+    ser::Writer w;
+    w.tag("SOAK");
+    w.u64(executed_);
+    buf_->save(w);
+    wl_->save(w);
+    runner_->save(w);
+    return sealCheckpoint(w.bytes(), fingerprint_);
+}
+
+void
+ScenarioRun::restore(const std::string &bytes)
+{
+    const std::string payload = openCheckpoint(bytes, fingerprint_);
+    ser::Reader r(payload);
+    r.tag("SOAK");
+    executed_ = r.u64();
+    fatal_if(executed_ > s_.slots, "checkpoint: executed slot count ",
+             executed_, " beyond the leg's ", s_.slots, " slots");
+    buf_->load(r);
+    wl_->load(r);
+    runner_->load(r);
+    r.done();
+}
+
+sim::ScenarioOutcome
+ScenarioRun::finish()
+{
+    sim::ScenarioOutcome out;
+    std::string why;
+    try {
+        out.run = runner_->run(s_.slots - executed_);
+        executed_ = s_.slots;
+        sim::completeScenario(s_, *buf_, *runner_, *wl_, out, why);
+    } catch (const std::exception &e) {
+        why += std::string("exception: ") + e.what() + "; ";
+    }
+    out.passed = why.empty();
+    if (!out.passed)
+        out.failure = why + "[" + s_.describe() + "]";
+    return out;
+}
+
+sim::ScenarioOutcome
+runScenarioCheckpointed(const sim::Scenario &s, std::uint64_t every)
+{
+    try {
+        auto run = std::make_unique<ScenarioRun>(s);
+        if (every > 0) {
+            for (std::uint64_t at = every; at < s.slots; at += every) {
+                run->runTo(at);
+                const std::string bytes = run->checkpoint();
+                // Restore into entirely fresh objects: the same
+                // rebuild a cross-process resume performs.
+                run = std::make_unique<ScenarioRun>(s);
+                run->restore(bytes);
+            }
+        }
+        return run->finish();
+    } catch (const std::exception &e) {
+        sim::ScenarioOutcome out;
+        out.failure = std::string("exception: ") + e.what() + "; [" +
+                      s.describe() + "]";
+        return out;
+    }
+}
+
+} // namespace pktbuf::soak

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Soak layer: deterministic checkpoint/restore of a full simulation
+ * leg, for long runs that must survive interruption and for
+ * replaying failures from the slot they were saved at.
+ *
+ * The envelope is a versioned binary format:
+ *
+ *   "PKCK"            4-byte magic tag
+ *   version           u32 (currently 1)
+ *   config fingerprint u64 -- FNV-1a of Scenario::describe(), so a
+ *                     checkpoint can only be restored into the same
+ *                     leg (same grid, seed, slots, timing)
+ *   payload           length-prefixed bytes (every layer's save())
+ *   checksum          u64 -- FNV-1a of the payload bytes
+ *
+ * Any mismatch -- wrong magic, unknown version, foreign fingerprint,
+ * short read, corrupt checksum, trailing bytes -- raises FatalError:
+ * a malformed checkpoint is invalid input, not a simulator bug.
+ *
+ * The invariant the layer guarantees (and tests/test_soak.cc
+ * enforces leg by leg): run-to-k + save + restore-into-fresh-objects
+ * + run-to-N is bit-identical to an unbroken N-slot run -- same
+ * statistics, same golden-checker totals, same emitted record bytes.
+ */
+
+#ifndef PKTBUF_SOAK_CHECKPOINT_HH
+#define PKTBUF_SOAK_CHECKPOINT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "buffer/hybrid_buffer.hh"
+#include "sim/runner.hh"
+#include "sim/scenario.hh"
+#include "sim/workload.hh"
+
+namespace pktbuf::soak
+{
+
+/** Current envelope version; bumped on any layout change. */
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/**
+ * Wrap a serialized payload in the versioned envelope.
+ * @param payload the concatenated save() bytes of every layer
+ * @param config_fingerprint FNV-1a of the owning leg's describe()
+ * @return the envelope bytes, ready for writeFile()
+ */
+std::string sealCheckpoint(const std::string &payload,
+                           std::uint64_t config_fingerprint);
+
+/**
+ * Validate an envelope and extract its payload.  FatalError on any
+ * corruption or configuration mismatch (see file comment).
+ */
+std::string openCheckpoint(const std::string &bytes,
+                           std::uint64_t config_fingerprint);
+
+/** Write bytes to a file (binary, truncating); FatalError on I/O. */
+void writeFile(const std::string &path, const std::string &bytes);
+
+/** Read a whole file (binary); FatalError if unreadable. */
+std::string readFile(const std::string &path);
+
+/**
+ * Builds the workload for a leg.  The default (empty) factory uses
+ * sim::makeWorkload(scenario); the switch layer injects
+ * makePortWorkload so port legs checkpoint through the same driver.
+ */
+using WorkloadFactory =
+    std::function<std::unique_ptr<sim::Workload>()>;
+
+/**
+ * One checkpointable scenario leg: the buffer, workload and runner
+ * of sim::runScenarioWith(), but with the main phase split so the
+ * caller can stop at any slot, snapshot, and continue -- in this
+ * process or another.
+ *
+ * Usage:
+ *   ScenarioRun a(s);
+ *   a.runTo(k);
+ *   auto bytes = a.checkpoint();
+ *   ...
+ *   ScenarioRun b(s);          // fresh objects, same config
+ *   b.restore(bytes);
+ *   auto out = b.finish();     // == runScenario(s) bit for bit
+ */
+class ScenarioRun
+{
+  public:
+    /**
+     * Build the leg's buffer/workload/runner from its configuration.
+     * @param s the leg; also the source of the config fingerprint
+     * @param factory optional workload factory (see WorkloadFactory)
+     */
+    explicit ScenarioRun(const sim::Scenario &s,
+                         WorkloadFactory factory = {});
+
+    /** Advance the main phase to absolute slot `slot` (<= s.slots). */
+    void runTo(std::uint64_t slot);
+
+    /** Main-phase slots executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Snapshot the full state into a sealed envelope. */
+    std::string checkpoint() const;
+
+    /**
+     * Replace this run's state with a checkpoint's.  The envelope
+     * must carry this leg's fingerprint; FatalError otherwise.
+     */
+    void restore(const std::string &bytes);
+
+    /**
+     * Run the remaining main-phase slots and complete the leg
+     * through sim::completeScenario() -- the exact path
+     * runScenarioWith() takes, so the outcome (and any record built
+     * from it) is bit-identical to an unbroken run.
+     */
+    sim::ScenarioOutcome finish();
+
+    const buffer::HybridBuffer &buffer() const { return *buf_; }
+    const sim::Workload &workload() const { return *wl_; }
+
+  private:
+    sim::Scenario s_;
+    std::uint64_t fingerprint_;
+    std::unique_ptr<sim::Workload> wl_;
+    std::unique_ptr<buffer::HybridBuffer> buf_;
+    std::unique_ptr<sim::SimRunner> runner_;
+    std::uint64_t executed_ = 0;
+    sim::RunResult last_{};
+};
+
+/**
+ * Run one leg end to end, checkpointing every `every` main-phase
+ * slots and restoring each snapshot into a completely fresh
+ * ScenarioRun before continuing -- the soak self-test.  With
+ * `every` == 0 (or >= s.slots) this degenerates to a plain run.
+ * Never throws; failures carry the scenario description and seed,
+ * exactly like sim::runScenario().
+ */
+sim::ScenarioOutcome runScenarioCheckpointed(const sim::Scenario &s,
+                                             std::uint64_t every);
+
+} // namespace pktbuf::soak
+
+#endif // PKTBUF_SOAK_CHECKPOINT_HH

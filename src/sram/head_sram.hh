@@ -118,6 +118,53 @@ class HeadSram
         qq.next_consume_seq = 0;
     }
 
+    /** Checkpoint: every queue's block map and the occupancy. */
+    void
+    save(ser::Writer &w) const
+    {
+        w.tag("HSRM");
+        w.u64(queues_.size());
+        for (const auto &qq : queues_) {
+            w.u64(qq.next_consume_seq);
+            w.u64(qq.blocks.size());
+            for (const auto &[seq, blk] : qq.blocks) {
+                w.u64(seq);
+                w.u64(blk.consumed);
+                w.u64(blk.cells.size());
+                for (const auto &c : blk.cells)
+                    c.save(w);
+            }
+        }
+        w.u64(occupancy_);
+        high_water_.save(w);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        r.tag("HSRM");
+        const auto n = r.u64();
+        fatal_if(n != queues_.size(), "checkpoint: h-SRAM has ", n,
+                 " queues, configured ", queues_.size());
+        for (auto &qq : queues_) {
+            qq.next_consume_seq = r.u64();
+            qq.blocks.clear();
+            const auto nb = r.u64();
+            for (std::uint64_t i = 0; i < nb; ++i) {
+                const auto seq = r.u64();
+                Block blk;
+                blk.consumed = r.u64();
+                const auto nc = r.u64();
+                blk.cells.resize(nc);
+                for (auto &c : blk.cells)
+                    c.load(r);
+                qq.blocks.emplace(seq, std::move(blk));
+            }
+        }
+        occupancy_ = r.u64();
+        high_water_.load(r);
+    }
+
   private:
     /** A replenished block, consumed front to back in place. */
     struct Block

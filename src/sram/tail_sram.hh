@@ -123,6 +123,43 @@ class TailSram
                  "recycling non-empty tail queue ", p);
     }
 
+    /** Checkpoint: every queue's cells + claim count, occupancy. */
+    void
+    save(ser::Writer &w) const
+    {
+        w.tag("TSRM");
+        w.u64(queues_.size());
+        for (const auto &qq : queues_) {
+            w.u64(qq.claimed);
+            w.u64(qq.cells.size());
+            for (const auto &c : qq.cells)
+                c.save(w);
+        }
+        w.u64(occupancy_);
+        high_water_.save(w);
+    }
+
+    void
+    load(ser::Reader &r)
+    {
+        r.tag("TSRM");
+        const auto n = r.u64();
+        fatal_if(n != queues_.size(), "checkpoint: t-SRAM has ", n,
+                 " queues, configured ", queues_.size());
+        for (auto &qq : queues_) {
+            qq.claimed = r.u64();
+            qq.cells.clear();
+            const auto nc = r.u64();
+            for (std::uint64_t i = 0; i < nc; ++i) {
+                Cell c;
+                c.load(r);
+                qq.cells.push_back(c);
+            }
+        }
+        occupancy_ = r.u64();
+        high_water_.load(r);
+    }
+
   private:
     struct QueueState
     {

@@ -14,9 +14,10 @@ namespace
 std::string
 formatReal(double d)
 {
-    // Shortest round-trip form, locale-independent.  JSON has no
-    // inf/nan tokens; a measurement producing one is a harness bug
-    // (to_chars would happily emit "inf" and corrupt the artifact).
+    // Shortest round-trip form, locale-independent.  Callers screen
+    // out non-finite values (JSON null / empty CSV cell) before
+    // calling; reaching here with one is a harness bug (to_chars
+    // would happily emit "inf" and corrupt the artifact).
     panic_if(!std::isfinite(d), "non-finite value ", d,
              " in a result record");
     char buf[64];
@@ -132,7 +133,10 @@ Value::json() const
       case Kind::UInt:
         return std::to_string(uint_);
       case Kind::Real:
-        return formatReal(real_);
+        // JSON has no inf/nan tokens: a non-finite measurement (an
+        // empty sampler's mean, a 0/0 rate) becomes null rather than
+        // corrupting the artifact or killing the whole emission.
+        return std::isfinite(real_) ? formatReal(real_) : "null";
       case Kind::Str:
         return escapeJson(str_);
     }
@@ -154,7 +158,9 @@ Value::csv() const
       case Kind::UInt:
         return std::to_string(uint_);
       case Kind::Real:
-        return formatReal(real_);
+        // Mirror the JSON convention: a non-finite value becomes an
+        // empty cell, the CSV idiom for "not available".
+        return std::isfinite(real_) ? formatReal(real_) : "";
     }
     return "";
 }

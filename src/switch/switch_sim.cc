@@ -272,20 +272,21 @@ aggregateStat(const std::vector<double> &per_port)
     a.min = s.min();
     a.max = s.max();
     a.mean = s.mean();
-    if (s.max() <= 0.0) {
-        // All-zero stat: the histogram would report bucket upper
-        // bounds (1.0) for a value that is identically 0.
-        return a;
+    // Percentiles via the streaming P^2 estimators: exact (linear
+    // interpolation at rank p*(n-1)) for up to five ports, marker
+    // approximation beyond -- no bucket width to misjudge and no
+    // bucket-upper-bound bias, unlike the fixed-width Histogram this
+    // replaces.  Estimates never leave [min, max] by construction.
+    P2Quantile p50(0.50);
+    P2Quantile p99(0.99);
+    for (const double v : per_port) {
+        p50.sample(v);
+        p99.sample(v);
     }
-    // Percentiles via the common Histogram: 64 linear buckets
-    // spanning [0, max] (the per-port stats are all non-negative).
-    // percentile() reports bucket *upper bounds*, so clamp to the
-    // observed max -- a p99 above the maximum value is noise.
-    Histogram h(s.max() / 60.0, 64);
-    for (const double v : per_port)
-        h.sample(v);
-    a.p50 = std::min(h.percentile(0.50), a.max);
-    a.p99 = std::min(h.percentile(0.99), a.max);
+    a.p50 = p50.quantile();
+    // Two independent marker sets can cross on adversarial inputs;
+    // quantile monotonicity is worth keeping for the report.
+    a.p99 = std::max(p99.quantile(), a.p50);
     return a;
 }
 

@@ -170,15 +170,16 @@ struct PortStatAgg
     double min = 0.0;
     double max = 0.0;
     double mean = 0.0;
-    double p50 = 0.0;  //!< via Histogram::percentile(0.5)
-    double p99 = 0.0;  //!< via Histogram::percentile(0.99)
+    double p50 = 0.0;  //!< via P2Quantile(0.5)
+    double p99 = 0.0;  //!< via P2Quantile(0.99), floored at p50
 };
 
 /**
  * Aggregate one per-port stat vector.  Percentiles come from the
- * common Histogram (64 linear buckets spanning [0, max]), so they
- * are deterministic, bucket-quantized upper bounds -- exactly what
- * the scaling-trend assertions need, no more.
+ * streaming P^2 estimators (common/stats.hh): exact linear
+ * interpolation at rank p*(n-1) for up to five ports, the 5-marker
+ * approximation beyond, always within [min, max].  Deterministic for
+ * a given input order, O(1) memory in the port count.
  */
 PortStatAgg aggregateStat(const std::vector<double> &per_port);
 

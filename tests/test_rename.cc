@@ -67,6 +67,31 @@ TEST(Renaming, AllocationBalancesTowardEmptiestGroup)
     EXPECT_EQ(rt.groupOf(p), 1u);
 }
 
+TEST(Renaming, AllocationAvoidsGroupsServingActiveChains)
+{
+    // A DRAM bank group sustains ~1 cell/slot of combined read+write
+    // bandwidth, so free SPACE alone is the wrong placement signal: a
+    // group draining a hot head has plenty of space precisely because
+    // it is saturated with reads.  The allocator must weight groups by
+    // the head/tail elements they already serve and steer new tails
+    // elsewhere, even when the busy group has the most free cells.
+    RenamingTable rt(4, 16, 4);
+    const auto p0 = rt.assignArrival(0, unbounded());
+    const auto g0 = rt.groupOf(p0);
+    // g0 now serves q0's head AND tail (single-element chain) -- give
+    // it the most free space and still expect a different group.
+    auto g_free = [&](unsigned g) -> std::uint64_t {
+        return g == g0 ? 1000 : 500;
+    };
+    const auto p1 = rt.assignArrival(1, g_free);
+    EXPECT_NE(rt.groupOf(p1), g0);
+    // With every OTHER group equally loaded, a third queue also
+    // avoids both busy groups.
+    const auto p2 = rt.assignArrival(2, g_free);
+    EXPECT_NE(rt.groupOf(p2), g0);
+    EXPECT_NE(rt.groupOf(p2), rt.groupOf(p1));
+}
+
 TEST(Renaming, TranslationFollowsFifoAcrossChain)
 {
     RenamingTable rt(1, 8, 2);

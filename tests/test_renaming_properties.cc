@@ -78,12 +78,15 @@ TEST_P(RenamingProperty, FifoAndSpaceGuaranteesHold)
     // exceeds the spread-traffic assumptions behind Eq. (1) and the
     // t-SRAM bound: until the hot queue's group fills (triggering a
     // renaming spill), the burst parks in the tail SRAM.  Size both
-    // for the concentration (DESIGN.md section 7.4).
+    // for the concentration (DESIGN.md section 7.4), plus the L < 4
+    // write-backlog slack (model::concentrationSlackSlots).
     cfg.rrCapacity =
-        2 * model::rrSize(cfg.params) + 2 * 64 / b + 16;
+        2 * model::rrSize(cfg.params) + 2 * 64 / b + 16 +
+        model::concentrationSlackSlots(cfg.params, logical) / b;
     cfg.tailSramCells =
         model::tailSramCells(cfg.params.queues, b) +
-        model::latencySlots(cfg.params) + 2 * 64 /*burst*/;
+        model::latencySlots(cfg.params) + 2 * 64 /*burst*/ +
+        model::concentrationSlackSlots(cfg.params, logical);
     HybridBuffer buf(cfg);
     auto wl = makeWorkload(pat, logical, seed);
     SimRunner runner(buf, *wl);
@@ -126,12 +129,17 @@ TEST(RenamingFuzzSmoke, RandomRenamingConfigsHoldGuarantees)
         testutil::envU64("PKTBUF_FUZZ_ITERS", 3);
     Rng rng(master);
     for (std::uint64_t it = 0; it < iters; ++it) {
-        // L >= 4, like the grid: fewer logical queues concentrate
-        // the 0.9 uniform load near the per-queue/group bandwidth
-        // bound, which is the documented infeasible region (the
-        // grids' capacity arguments), not a renaming bug.
+        // The full envelope includes L < 4: few logical queues
+        // funnel the whole grant stream through one physical chain.
+        // The buffer now absorbs this with bandwidth-aware group
+        // allocation in the RenamingTable plus
+        // model::concentrationSlackSlots of extra lookahead,
+        // h-SRAM and t-SRAM headroom.  These configs used to
+        // MISS-panic at the documented concentration bound; the
+        // pinned-seed regression test below replays the first
+        // failing config verbatim.
         const unsigned logical =
-            4 + static_cast<unsigned>(rng.below(5));  // 4..8
+            1 + static_cast<unsigned>(rng.below(8));  // 1..8
         const unsigned extra =
             4 + static_cast<unsigned>(rng.below(5));  // 4..8
         const unsigned b = 1 + static_cast<unsigned>(rng.below(2));
@@ -154,10 +162,12 @@ TEST(RenamingFuzzSmoke, RandomRenamingConfigsHoldGuarantees)
         cfg.dramCells = dram;
         // Concentration-aware sizing, exactly as the grid above.
         cfg.rrCapacity =
-            2 * model::rrSize(cfg.params) + 2 * 64 / b + 16;
+            2 * model::rrSize(cfg.params) + 2 * 64 / b + 16 +
+            model::concentrationSlackSlots(cfg.params, logical) / b;
         cfg.tailSramCells =
             model::tailSramCells(cfg.params.queues, b) +
-            model::latencySlots(cfg.params) + 2 * 64;
+            model::latencySlots(cfg.params) + 2 * 64 +
+            model::concentrationSlackSlots(cfg.params, logical);
         try {
             HybridBuffer buf(cfg);
             auto wl = makeWorkload(pat, logical, seed);
@@ -176,9 +186,43 @@ TEST(RenamingFuzzSmoke, RandomRenamingConfigsHoldGuarantees)
     }
 }
 
+/**
+ * Pinned-seed regression: before the concentration-lookahead fix
+ * (concentrationLookaheadSlack in hybrid_buffer.cc), this exact
+ * config -- a single logical queue over 5 physical names, b=1,
+ * D=512, adversarial round-robin, seed 1 -- MISS-panicked with
+ * "queue 0 has no cells for replenish seq 48": the base ECQF
+ * lookahead saw only the head chain's share of the grant stream and
+ * replenished too late.  The config must now run clean end to end
+ * with every guarantee held.
+ */
+TEST(RenamingRegression, SingleLogicalQueueConcentrationNoMiss)
+{
+    BufferConfig cfg;
+    cfg.params = model::BufferParams{1 + 4, 8, 1, 32};
+    cfg.logicalQueues = 1;
+    cfg.renaming = true;
+    cfg.dramCells = 512;
+    // Deliberately the PRE-fix harness sizing (no explicit
+    // concentrationSlackSlots terms): the default lookahead and
+    // h-SRAM slack alone must absorb the concentration.
+    cfg.rrCapacity = 2 * model::rrSize(cfg.params) + 2 * 64 + 16;
+    cfg.tailSramCells =
+        model::tailSramCells(cfg.params.queues, 1) +
+        model::latencySlots(cfg.params) + 2 * 64;
+    HybridBuffer buf(cfg);
+    RoundRobinWorstCase wl(1, /*seed=*/1, 1.0, 64);
+    SimRunner runner(buf, wl);
+    const auto r = runner.run(10000);
+    EXPECT_GT(r.grants, 500u);
+    runner.drain(200000);
+    EXPECT_EQ(wl.credit(0), 0u);
+    EXPECT_EQ(buf.report().dramResidentCells, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Grid, RenamingProperty,
-    ::testing::Combine(::testing::Values(4u, 8u),   // logical
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),  // logical
                        ::testing::Values(4u, 8u),   // extra phys
                        ::testing::Values(1u, 2u),   // b
                        ::testing::Values(256u, 1024u),

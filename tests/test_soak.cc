@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Soak-layer tests: the serialization codec, the P^2 streaming
+ * quantile estimator, the checkpoint envelope (including corruption
+ * rejection), and the layer's core invariant -- save-at-slot-k +
+ * restore-into-fresh-objects + run-to-N is bit-identical to an
+ * unbroken N-slot run, on every scenario-matrix leg, every timing
+ * leg, and a multi-port switch smoke.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/serialize.hh"
+#include "common/stats.hh"
+#include "fuzz_env.hh"
+#include "soak/checkpoint.hh"
+#include "sweep/scenario_sweep.hh"
+#include "switch/switch_sim.hh"
+
+using namespace pktbuf;
+
+namespace
+{
+
+// ------------------------------------------------------------- codec
+
+TEST(SerializeCodec, RoundTripsEveryFieldType)
+{
+    ser::Writer w;
+    w.tag("TEST");
+    w.u8(0xab);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefull);
+    w.i64(-42);
+    w.b(true);
+    w.real(3.141592653589793);
+    w.real(-0.0);
+    w.str("hello \0 world");  // embedded NUL survives via length
+    const std::string bytes = w.take();
+
+    ser::Reader r(bytes);
+    r.tag("TEST");
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_TRUE(r.b());
+    EXPECT_EQ(r.real(), 3.141592653589793);
+    EXPECT_TRUE(std::signbit(r.real()));  // -0.0 bit-exact
+    EXPECT_EQ(r.str(), std::string("hello "));
+    r.done();
+}
+
+TEST(SerializeCodec, RejectsMalformedInput)
+{
+    ser::Writer w;
+    w.tag("GOOD");
+    w.u64(7);
+    const std::string bytes = w.take();
+
+    {
+        ser::Reader r(bytes);
+        EXPECT_THROW(r.tag("EVIL"), FatalError);
+    }
+    {
+        // Short read: ask for more than remains.
+        ser::Reader r(bytes.substr(0, 6));
+        r.tag("GOOD");
+        EXPECT_THROW(r.u64(), FatalError);
+    }
+    {
+        // Trailing bytes must be an error, not silence.
+        ser::Reader r(bytes + "x");
+        r.tag("GOOD");
+        EXPECT_EQ(r.u64(), 7u);
+        EXPECT_THROW(r.done(), FatalError);
+    }
+    {
+        // A bool octet above 1 is corruption, not "truthy".
+        ser::Reader r(std::string("\x02", 1));
+        EXPECT_THROW(r.b(), FatalError);
+    }
+}
+
+TEST(SerializeCodec, RngStreamContinuesAcrossRoundTrip)
+{
+    Rng a(12345);
+    for (int i = 0; i < 100; ++i)
+        a.next();
+    ser::Writer w;
+    a.save(w);
+    Rng b(999);  // different seed; load must fully overwrite
+    ser::Reader r(w.bytes());
+    b.load(r);
+    r.done();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+// ------------------------------------------------- P^2 quantile
+
+/** Exact percentile: linear interpolation at rank p*(n-1). */
+double
+exactQuantile(std::vector<double> v, double p)
+{
+    std::sort(v.begin(), v.end());
+    const double rank = p * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    if (lo + 1 >= v.size())
+        return v.back();
+    const double frac = rank - static_cast<double>(lo);
+    return v[lo] + frac * (v[lo + 1] - v[lo]);
+}
+
+TEST(P2Quantile, ExactForFiveOrFewerSamples)
+{
+    const std::vector<double> data = {4.0, 1.0, 3.0, 2.0, 5.0};
+    for (std::size_t n = 1; n <= data.size(); ++n) {
+        const std::vector<double> prefix(data.begin(),
+                                         data.begin() + n);
+        for (const double p : {0.5, 0.9, 0.99}) {
+            P2Quantile q(p);
+            for (const double v : prefix)
+                q.sample(v);
+            EXPECT_DOUBLE_EQ(q.quantile(), exactQuantile(prefix, p))
+                << "n=" << n << " p=" << p;
+        }
+    }
+}
+
+TEST(P2Quantile, TracksExactPercentilesOnLargeStreams)
+{
+    // Deterministic uniform stream: the P^2 markers must stay close
+    // to the exact percentile of the full sample.
+    Rng rng(7);
+    std::vector<double> all;
+    P2Quantile p50(0.5);
+    P2Quantile p99(0.99);
+    for (int i = 0; i < 20000; ++i) {
+        const double v =
+            static_cast<double>(rng.below(100000)) / 100.0;
+        all.push_back(v);
+        p50.sample(v);
+        p99.sample(v);
+    }
+    // Uniform on [0, 1000): exact p50 ~ 500, p99 ~ 990.
+    EXPECT_NEAR(p50.quantile(), exactQuantile(all, 0.5), 10.0);
+    EXPECT_NEAR(p99.quantile(), exactQuantile(all, 0.99), 10.0);
+    // Estimates never leave the observed range.
+    EXPECT_GE(p50.quantile(), 0.0);
+    EXPECT_LE(p99.quantile(), 1000.0);
+}
+
+TEST(P2Quantile, MemoryStaysConstantAndRoundTrips)
+{
+    // Stream a million samples through an estimator whose footprint
+    // is 20 doubles, checkpoint it mid-stream, and confirm the
+    // restored copy produces bit-identical estimates ever after.
+    P2Quantile a(0.99);
+    Rng rng(3);
+    for (int i = 0; i < 500000; ++i)
+        a.sample(static_cast<double>(rng.below(1 << 20)));
+
+    ser::Writer w;
+    a.save(w);
+    P2Quantile b(0.99);
+    ser::Reader r(w.bytes());
+    b.load(r);
+    r.done();
+
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.quantile(), b.quantile());
+    for (int i = 0; i < 500000; ++i) {
+        const double v = static_cast<double>(rng.below(1 << 20));
+        a.sample(v);
+        b.sample(v);
+    }
+    EXPECT_EQ(a.quantile(), b.quantile());
+}
+
+TEST(AggregateStat, MatchesExactPercentiles)
+{
+    // <= 5 ports: the aggregation is exact by construction.
+    const std::vector<double> four = {4.0, 1.0, 3.0, 2.0};
+    const auto a = sw::aggregateStat(four);
+    EXPECT_DOUBLE_EQ(a.p50, exactQuantile(four, 0.50));
+    EXPECT_DOUBLE_EQ(a.p99, exactQuantile(four, 0.99));
+    EXPECT_DOUBLE_EQ(a.max, 4.0);
+
+    // Larger port counts: close to exact, inside [min, max], and
+    // monotone (p99 >= p50) -- the properties the old fixed-width
+    // Histogram could not guarantee.
+    std::vector<double> many;
+    Rng rng(11);
+    for (int i = 0; i < 64; ++i)
+        many.push_back(static_cast<double>(rng.below(1000)));
+    const auto m = sw::aggregateStat(many);
+    EXPECT_NEAR(m.p50, exactQuantile(many, 0.50), 60.0);
+    EXPECT_GE(m.p99, m.p50);
+    EXPECT_GE(m.p50, m.min);
+    EXPECT_LE(m.p99, m.max);
+}
+
+// -------------------------------------------------- stat registry
+
+TEST(StatRegistry, LoadPreservesComponentPointers)
+{
+    StatRegistry reg;
+    Counter &c = reg.counter("layer.events");
+    c.inc(5);
+    reg.sampler("layer.delay").sample(2.0);
+    reg.quantile("layer.p99", 0.99).sample(7.0);
+
+    ser::Writer w;
+    reg.save(w);
+    c.inc(100);  // diverge after the snapshot
+
+    ser::Reader r(w.bytes());
+    reg.load(r);
+    r.done();
+    // The pointer obtained before load() must still be live and must
+    // see the restored value: components cache Counter* across
+    // checkpoint cycles.
+    EXPECT_EQ(c.value(), 5u);
+    EXPECT_EQ(reg.quantile("layer.p99", 0.99).count(), 1u);
+}
+
+// ---------------------------------------------- checkpoint envelope
+
+TEST(CheckpointEnvelope, SealOpenRoundTrip)
+{
+    const std::string payload = "arbitrary \x00\x01\x02 bytes";
+    const auto sealed = soak::sealCheckpoint(payload, 0x1234);
+    EXPECT_EQ(soak::openCheckpoint(sealed, 0x1234), payload);
+}
+
+TEST(CheckpointEnvelope, RejectsCorruptionAndMismatch)
+{
+    const std::string payload(256, 'z');
+    const auto sealed = soak::sealCheckpoint(payload, 77);
+
+    // Wrong configuration fingerprint.
+    EXPECT_THROW(soak::openCheckpoint(sealed, 78), FatalError);
+    // Truncation (short read).
+    EXPECT_THROW(
+        soak::openCheckpoint(sealed.substr(0, sealed.size() / 2), 77),
+        FatalError);
+    // Bit rot in the payload flips the checksum.
+    {
+        std::string bad = sealed;
+        bad[bad.size() / 2] ^= 0x40;
+        EXPECT_THROW(soak::openCheckpoint(bad, 77), FatalError);
+    }
+    // Unknown version.
+    {
+        std::string bad = sealed;
+        bad[4] = 0x7f;  // version lives right after the 4-byte magic
+        EXPECT_THROW(soak::openCheckpoint(bad, 77), FatalError);
+    }
+    // Trailing garbage.
+    EXPECT_THROW(soak::openCheckpoint(sealed + "!", 77), FatalError);
+    // Wrong magic.
+    {
+        std::string bad = sealed;
+        bad[0] = 'X';
+        EXPECT_THROW(soak::openCheckpoint(bad, 77), FatalError);
+    }
+}
+
+TEST(CheckpointEnvelope, FileRoundTripAndMissingFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "pktbuf_ck_test.bin";
+    const auto sealed = soak::sealCheckpoint("state", 1);
+    soak::writeFile(path, sealed);
+    EXPECT_EQ(soak::readFile(path), sealed);
+    std::remove(path.c_str());
+    EXPECT_THROW(soak::readFile(path), FatalError);
+}
+
+TEST(CheckpointEnvelope, RestoreRejectsForeignLeg)
+{
+    // A checkpoint from one leg must not restore into another: the
+    // describe() fingerprint differs (different seed).
+    auto legs = sim::smokeMatrix();
+    ASSERT_GE(legs.size(), 2u);
+    soak::ScenarioRun a(legs[0]);
+    a.runTo(100);
+    const auto bytes = a.checkpoint();
+    soak::ScenarioRun b(legs[1]);
+    EXPECT_THROW(b.restore(bytes), FatalError);
+}
+
+// ------------------------------------------------- bit identity
+
+/** The leg's emitted record, flattened to comparable bytes. */
+std::string
+recordBytes(const sim::Scenario &s, const sim::ScenarioOutcome &o)
+{
+    std::string out;
+    const auto rec = sweep::scenarioRecord(s, o);
+    for (const auto &[k, v] : rec.fields())
+        out += k + "=" + v.json() + ";";
+    return out;
+}
+
+std::string
+portRecordBytes(const sw::PortPlan &plan,
+                const sim::ScenarioOutcome &o)
+{
+    std::string out;
+    const auto rec = sw::portRecord(plan, o);
+    for (const auto &[k, v] : rec.fields())
+        out += k + "=" + v.json() + ";";
+    return out;
+}
+
+/**
+ * Core invariant on one leg: for saves at 25/50/75% of the main
+ * phase, restore into completely fresh objects and finish; the
+ * emitted record must equal the unbroken run's byte for byte.
+ */
+void
+expectBitIdentical(const sim::Scenario &s)
+{
+    SCOPED_TRACE(s.describe());
+    const auto plain = sim::runScenario(s);
+    const auto expect = recordBytes(s, plain);
+    for (const unsigned pct : {25u, 50u, 75u}) {
+        SCOPED_TRACE("save at " + std::to_string(pct) + "%");
+        soak::ScenarioRun a(s);
+        a.runTo(s.slots * pct / 100);
+        const auto bytes = a.checkpoint();
+        soak::ScenarioRun b(s);
+        b.restore(bytes);
+        const auto seg = b.finish();
+        EXPECT_EQ(seg.passed, plain.passed);
+        EXPECT_EQ(recordBytes(s, seg), expect);
+    }
+}
+
+TEST(SoakBitIdentity, EveryScenarioMatrixLeg)
+{
+    for (const auto &s : sim::defaultMatrix())
+        expectBitIdentical(s);
+}
+
+TEST(SoakBitIdentity, EveryTimingLeg)
+{
+    for (const auto &s : sim::timingMatrix())
+        expectBitIdentical(s);
+}
+
+TEST(SoakBitIdentity, CheckpointEveryMSelfTest)
+{
+    // The nightly driver's mode: checkpoint every M slots, restoring
+    // each snapshot into a fresh run before continuing.
+    for (const auto &s : sim::smokeMatrix()) {
+        SCOPED_TRACE(s.describe());
+        const auto plain = sim::runScenario(s);
+        const auto seg =
+            soak::runScenarioCheckpointed(s, s.slots / 7 + 1);
+        EXPECT_EQ(recordBytes(s, seg), recordBytes(s, plain));
+    }
+}
+
+TEST(SoakBitIdentity, FourPortSwitchSmoke)
+{
+    // A 4-port mixed-variant switch: every port (CFDS, RADS,
+    // renaming) checkpoints and restores through the same driver,
+    // with the port's workload injected via the factory.
+    sw::SwitchConfig cfg;
+    cfg.ports = 4;
+    cfg.mixedVariants = true;
+    cfg.slots = 4000;
+    cfg.masterSeed = 20260808;
+    const auto plans = sw::planPorts(cfg);
+    for (const auto &plan : plans) {
+        SCOPED_TRACE("port " + std::to_string(plan.port) + ": " +
+                     plan.scenario.describe());
+        const auto plain = sw::runPort(plan);
+        const auto expect = portRecordBytes(plan, plain);
+        const auto factory = [&plan] {
+            return sw::makePortWorkload(plan);
+        };
+        for (const unsigned pct : {25u, 50u, 75u}) {
+            SCOPED_TRACE("save at " + std::to_string(pct) + "%");
+            soak::ScenarioRun a(plan.scenario, factory);
+            a.runTo(plan.scenario.slots * pct / 100);
+            const auto bytes = a.checkpoint();
+            soak::ScenarioRun b(plan.scenario, factory);
+            b.restore(bytes);
+            const auto seg = b.finish();
+            EXPECT_EQ(seg.passed, plain.passed);
+            EXPECT_EQ(portRecordBytes(plan, seg), expect);
+        }
+    }
+}
+
+// --------------------------------------------------- fuzz smoke
+
+/**
+ * Seeded soak fuzz: random matrix legs run through the
+ * checkpoint-every-M driver and compared to their unbroken twin.
+ * PKTBUF_FUZZ_ITERS scales the iteration count, PKTBUF_SOAK_EVERY
+ * overrides the checkpoint cadence; the nightly workflow runs this
+ * at 100x iterations.  Failures print the leg description and seed;
+ * when PKTBUF_SOAK_ARTIFACT_DIR is set, each failing iteration also
+ * drops a mid-run checkpoint plus a replay line there, which the
+ * nightly workflow uploads for offline diagnosis.
+ */
+TEST(SoakFuzzSmoke, RandomLegsSurviveCheckpointCycles)
+{
+    const std::uint64_t master =
+        testutil::envU64("PKTBUF_FUZZ_SEED", 1);
+    const std::uint64_t iters =
+        testutil::envU64("PKTBUF_FUZZ_ITERS", 3);
+    const char *artifact_dir =
+        std::getenv("PKTBUF_SOAK_ARTIFACT_DIR");
+    const auto matrix = sim::defaultMatrix();
+    Rng rng(master);
+    for (std::uint64_t it = 0; it < iters; ++it) {
+        sim::Scenario s = matrix[rng.below(matrix.size())];
+        s.seed = rng.next();  // fresh seed: a genuinely new leg
+        s.slots = 2000 + rng.below(4000);
+        const std::uint64_t every = testutil::envU64(
+            "PKTBUF_SOAK_EVERY", 1 + s.slots / (2 + rng.below(6)));
+        std::ostringstream desc;
+        desc << "fuzz iter " << it << ": " << s.describe()
+             << " every=" << every << " (PKTBUF_FUZZ_SEED=" << master
+             << ")";
+        SCOPED_TRACE(desc.str());
+        const bool failed_before = ::testing::Test::HasFailure();
+        const auto plain = sim::runScenario(s);
+        const auto seg = soak::runScenarioCheckpointed(s, every);
+        EXPECT_EQ(seg.passed, plain.passed)
+            << "plain: " << plain.failure
+            << " seg: " << seg.failure;
+        EXPECT_EQ(recordBytes(s, seg), recordBytes(s, plain));
+        if (artifact_dir && !failed_before &&
+            ::testing::Test::HasFailure()) {
+            // Replayable failure artifact: a mid-run checkpoint plus
+            // the exact leg parameters.  Best effort -- an
+            // unwritable directory must not mask the real failure.
+            try {
+                soak::ScenarioRun run(s);
+                run.runTo(s.slots / 2);
+                const std::string stem = std::string(artifact_dir) +
+                    "/soak_fail_iter" + std::to_string(it);
+                soak::writeFile(stem + ".ck", run.checkpoint());
+                std::ofstream log(std::string(artifact_dir) +
+                                      "/soak_failures.txt",
+                                  std::ios::app);
+                log << desc.str() << "\n";
+            } catch (const std::exception &e) {
+                std::fprintf(stderr,
+                             "artifact dump failed: %s\n", e.what());
+            }
+        }
+    }
+}
+
+} // namespace

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <string>
 
@@ -197,6 +198,51 @@ TEST(Emitters, JsonEscapingAndShapes)
     // CSV quotes fields containing commas/quotes/newlines.
     EXPECT_NE(csv.find("\"q\"\"b\\n\nx\ty\""), std::string::npos)
         << csv;
+}
+
+TEST(Emitters, NonFiniteRealsBecomeNullAndEmpty)
+{
+    // JSON has no inf/nan tokens and CSV's idiom for "not available"
+    // is an empty cell.  A NaN mean (empty sampler) or an inf rate
+    // (0-second wall clock) must degrade to those forms instead of
+    // emitting "inf"/"nan" and corrupting the whole artifact.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(Value(nan).json(), "null");
+    EXPECT_EQ(Value(inf).json(), "null");
+    EXPECT_EQ(Value(-inf).json(), "null");
+    EXPECT_EQ(Value(nan).csv(), "");
+    EXPECT_EQ(Value(inf).csv(), "");
+    EXPECT_EQ(Value(-inf).csv(), "");
+    // Finite values are untouched by the screening.
+    EXPECT_EQ(Value(0.5).json(), "0.5");
+    EXPECT_EQ(Value(0.5).csv(), "0.5");
+
+    // End to end: a record carrying non-finite measurements still
+    // emits, with null JSON fields and empty CSV cells.
+    std::vector<Task> tasks;
+    tasks.push_back(Task{"nf", [=](const SweepContext &) {
+                             TaskResult r;
+                             Record rec;
+                             rec.set("bad_mean", nan)
+                                 .set("bad_rate", inf)
+                                 .set("ok", 1.5);
+                             r.records.push_back(std::move(rec));
+                             return r;
+                         }});
+    const auto rep = runSweep(tasks, SweepOptions{});
+    EmitMeta meta;
+    meta.tool = "unit";
+    const auto js = toJson(rep, tasks, meta);
+    EXPECT_NE(js.find("\"bad_mean\": null"), std::string::npos) << js;
+    EXPECT_NE(js.find("\"bad_rate\": null"), std::string::npos) << js;
+    EXPECT_NE(js.find("\"ok\": 1.5"), std::string::npos) << js;
+    EXPECT_EQ(js.find("inf"), std::string::npos) << js;
+    EXPECT_EQ(js.find("nan"), std::string::npos) << js;
+
+    const auto csv = toCsv(rep, tasks);
+    const auto row = csv.substr(csv.find('\n') + 1);
+    EXPECT_EQ(row.substr(0, row.find('\n')), "nf,,,1.5") << csv;
 }
 
 TEST(Emitters, CsvQuotesCommasNewlinesAndQuotes)

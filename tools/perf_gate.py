@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over pktbuf-sweep-v1 bench artifacts.
+
+Compares freshly generated bench JSON against the committed baselines
+in bench/baselines/ and fails on regressions:
+
+* Deterministic fields (grants, drops, SRAM high-water marks, ...)
+  must match the baseline exactly -- the simulator is deterministic,
+  so any drift is a behavior change that must be reviewed and
+  committed as a new baseline, never silently absorbed.  The check
+  only runs when both artifacts were produced in the same mode
+  (``meta.smoke``), since smoke runs use reduced slot budgets.
+
+* Wall-clock metrics (``slots_per_sec``) are machine-dependent, so
+  raw ratios are useless across runners.  The gate computes each
+  task's fresh/baseline speed ratio, normalizes by the *median* ratio
+  (which calibrates away uniform machine-speed differences), and
+  fails any task whose normalized ratio drops below ``1 - tolerance``.
+  This catches regressions that hit a minority of configurations; a
+  uniform slowdown of the whole suite is indistinguishable from a
+  slower machine by design.
+
+``--self-test`` proves the gate can fail: it injects a 20% throughput
+regression into a copy of the first FRESH artifact, gates the copy
+against the unmodified original (a hermetic comparison -- every speed
+ratio is exactly 1.0 except the injected one, so the check is
+machine-independent), and exits successfully only if the gate rejects
+the injection.
+
+Usage:
+    perf_gate.py [--tolerance T] [--self-test] FRESH BASELINE \
+                 [FRESH BASELINE ...]
+
+Exit status: 0 all gates passed (or self-test caught the injection),
+1 regression detected (or self-test failed to), 2 usage/schema error.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+SCHEMA = "pktbuf-sweep-v1"
+# Machine-dependent fields: excluded from the exact comparison,
+# slots_per_sec is gated through the normalized band instead.
+PERF_FIELDS = {"seconds", "slots_per_sec"}
+
+
+def fail(msg):
+    print(f"perf_gate: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if "results" not in doc or "tool" not in doc:
+        fail(f"{path}: missing results/tool")
+    return doc
+
+
+def median(xs):
+    s = sorted(xs)
+    n = len(s)
+    return s[n // 2] if n % 2 else (s[n // 2 - 1] + s[n // 2]) / 2.0
+
+
+def compare(fresh, base, tolerance, label):
+    """Returns a list of human-readable violations (empty = pass)."""
+    bad = []
+    if fresh["tool"] != base["tool"]:
+        bad.append(f"tool mismatch: {fresh['tool']} vs {base['tool']}")
+        return bad
+    if fresh.get("failed", 0):
+        bad.append(f"fresh run has {fresh['failed']} failed tasks")
+
+    ft = {r["task"]: r for r in fresh["results"]}
+    bt = {r["task"]: r for r in base["results"]}
+    missing = sorted(set(bt) - set(ft))
+    if missing:
+        bad.append(f"tasks missing from fresh run: {', '.join(missing)}")
+
+    same_mode = (fresh.get("meta", {}).get("smoke")
+                 == base.get("meta", {}).get("smoke"))
+    if not same_mode:
+        print(f"  [{label}] smoke modes differ; deterministic fields"
+              " not compared")
+
+    ratios = {}
+    for task in sorted(set(bt) & set(ft)):
+        fr, br = ft[task], bt[task]
+        if same_mode:
+            for key, bval in br.items():
+                if key in PERF_FIELDS:
+                    continue
+                if fr.get(key) != bval:
+                    bad.append(f"{task}.{key}: baseline {bval!r},"
+                               f" fresh {fr.get(key)!r}"
+                               " (deterministic drift: review and"
+                               " recommit the baseline if intended)")
+        if "slots_per_sec" in br and "slots_per_sec" in fr:
+            if br["slots_per_sec"] > 0:
+                ratios[task] = fr["slots_per_sec"] / br["slots_per_sec"]
+
+    if ratios:
+        m = median(ratios.values())
+        if m <= 0:
+            bad.append(f"non-positive median speed ratio {m}")
+        else:
+            for task, r in sorted(ratios.items()):
+                norm = r / m
+                if norm < 1.0 - tolerance:
+                    bad.append(
+                        f"{task}: slots_per_sec {norm:.3f}x of the"
+                        f" machine-calibrated expectation (raw"
+                        f" {r:.3f}x, median {m:.3f}x, tolerance"
+                        f" {tolerance:.0%})")
+        print(f"  [{label}] {len(ratios)} perf tasks, median speed"
+              f" ratio {m:.3f}x")
+    return bad
+
+
+def inject_regression(fresh):
+    """Return a deep copy with one task slowed down by 20%."""
+    doc = copy.deepcopy(fresh)
+    for rec in doc["results"]:
+        if "slots_per_sec" in rec:
+            rec["slots_per_sec"] *= 0.8
+            rec["seconds"] = rec.get("seconds", 0) / 0.8
+            return doc, rec["task"], "slots_per_sec"
+    # No wall-clock metric in this artifact: perturb the first numeric
+    # deterministic field instead, which must trip the exact check.
+    rec = doc["results"][0]
+    for key, val in rec.items():
+        if key in PERF_FIELDS or not isinstance(val, (int, float)):
+            continue
+        if isinstance(val, bool) or val == 0:
+            continue
+        rec[key] = type(val)(val * 0.8)
+        return doc, rec["task"], key
+    fail("self-test: no injectable field found")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed normalized slowdown (default 0.15;"
+                         " must be < 0.20 for the self-test)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="inject a 20%% regression and require the"
+                         " gate to catch it")
+    ap.add_argument("files", nargs="+",
+                    help="FRESH BASELINE pairs")
+    args = ap.parse_args()
+    if len(args.files) % 2:
+        fail("files must come in FRESH BASELINE pairs")
+    if not 0 < args.tolerance < 0.20:
+        fail("tolerance must be in (0, 0.20) so a 20% regression"
+             " is always caught")
+
+    pairs = [(args.files[i], args.files[i + 1])
+             for i in range(0, len(args.files), 2)]
+
+    if args.self_test:
+        # Hermetic: gate an injected copy against the pristine fresh
+        # artifact itself, so machine speed cancels out exactly.
+        fresh = load(pairs[0][0])
+        doc, task, field = inject_regression(fresh)
+        bad = compare(doc, fresh, args.tolerance, "self-test")
+        if bad:
+            print(f"self-test PASSED: injected 20% regression in"
+                  f" {task}.{field} was rejected:")
+            print(f"  {bad[0]}")
+            sys.exit(0)
+        print(f"self-test FAILED: injected 20% regression in"
+              f" {task}.{field} slipped through", file=sys.stderr)
+        sys.exit(1)
+
+    failures = 0
+    for fresh_path, base_path in pairs:
+        label = f"{fresh_path} vs {base_path}"
+        print(f"gate: {label}")
+        bad = compare(load(fresh_path), load(base_path),
+                      args.tolerance, label)
+        for b in bad:
+            print(f"  FAIL: {b}")
+        failures += len(bad)
+    if failures:
+        print(f"perf_gate: {failures} violation(s)", file=sys.stderr)
+        sys.exit(1)
+    print("perf_gate: all gates passed")
+
+
+if __name__ == "__main__":
+    main()
