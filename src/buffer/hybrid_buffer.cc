@@ -177,7 +177,7 @@ resolveRrCapacity(const BufferConfig &cfg)
     if (cfg.measureOnly || cfg.params.isRads())
         return 0;
     if (cfg.rrCapacity)
-        return cfg.rrCapacity;
+        return cfg.rrCapacity + cfg.rrSlack;
     // +4: the combined register also holds the current interval's
     // incoming read and write until their launch opportunities come
     // around, and same-queue write ordering can briefly extend the
@@ -200,7 +200,7 @@ resolveRrCapacity(const BufferConfig &cfg)
         concentrationLookaheadSlack(cfg) /
         std::max(cfg.params.gran, 1u);
     return model::rrSize(cfg.params) + 4 + timing_slack +
-           concentration_slack;
+           concentration_slack + cfg.rrSlack;
 }
 
 std::uint64_t

@@ -60,6 +60,18 @@ struct BufferConfig
     std::uint64_t rrCapacity = 0;
 
     /**
+     * Extra RR entries on top of the resolved capacity (formula or
+     * override).  Eq. (1) sizes R for *randomized* request patterns;
+     * a caller whose service process concentrates consecutive
+     * requests on one queue -- the crossbar's work-conserving
+     * matching draining a backlogged VOQ -- provisions the excess
+     * here instead of silently weakening the overflow invariant for
+     * everyone.  Ignored where the RR is unbounded (RADS,
+     * measure-only).
+     */
+    std::uint64_t rrSlack = 0;
+
+    /**
      * DDR timing model (dram/timing.hh).  The default (uniform)
      * config reproduces the legacy one-number model bit for bit;
      * non-uniform configs (refresh, turnaround, per-group t_RC)

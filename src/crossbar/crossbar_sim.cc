@@ -1,0 +1,745 @@
+#include "crossbar_sim.hh"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sweep/emit.hh"
+#include "sweep/scenario_sweep.hh"
+#include "sweep/sweep.hh"
+
+namespace pktbuf::xbar
+{
+
+namespace
+{
+
+/** Salt index for the scheduler's RNG stream: far outside any
+ *  realistic input index, so the scheduler's deriveSeed(master,
+ *  kSchedSalt) stream never collides with an input's
+ *  deriveSeed(master, input) stream. */
+constexpr std::uint64_t kSchedSalt = 0x78736368ull;  // "xsch"
+
+unsigned
+resolvedHotOutputs(const CrossbarConfig &cfg)
+{
+    const unsigned hot = cfg.hotOutputs ? cfg.hotOutputs
+                                        : std::max(1u, cfg.ports / 4);
+    return std::min(hot, cfg.ports);
+}
+
+/**
+ * Incast burst-length cap.  A burst's cells pile into one VOQ, and a
+ * work-conserving matching then drains that backlog in *consecutive*
+ * grants -- a same-queue service run the Eq. (1) Requests Register
+ * sizing (derived for randomized request patterns) does not cover.
+ * Capping the burst at 2B keeps the induced run within the register's
+ * measured headroom; the fuzz soak is the evidence.
+ */
+std::uint64_t
+burstCap(const CrossbarConfig &cfg)
+{
+    return std::min<std::uint64_t>(
+        std::max<std::uint64_t>(1, cfg.incastBurst),
+        2 * std::max(1u, cfg.granRads));
+}
+
+} // namespace
+
+std::string
+CrossbarConfig::name() const
+{
+    std::ostringstream os;
+    os << "xbar_" << xbar::toString(scheduler) << "_"
+       << sw::toString(pattern) << "_p" << ports << "_"
+       << sim::toString(variant) << "_B" << granRads << "_b"
+       << (variant == sim::BufferVariant::Rads ? granRads : gran);
+    return os.str();
+}
+
+std::string
+CrossbarConfig::describe() const
+{
+    std::ostringstream os;
+    os << name() << " groups=" << groups << " load=" << load
+       << " slots=" << slots << " master_seed=" << masterSeed;
+    if (scheduler == SchedulerKind::Islip)
+        os << " islip_iters=" << islipIterations;
+    if (scheduler == SchedulerKind::Qps)
+        os << " qps_window=" << qpsWindow;
+    if (pattern == sw::TrafficPattern::Hotspot) {
+        os << " hot_outputs=" << resolvedHotOutputs(*this)
+           << " hot_fraction=" << hotFraction;
+    }
+    if (pattern == sw::TrafficPattern::Incast) {
+        os << " victim=" << incastVictim << " burst=" << incastBurst
+           << " hot_fraction=" << hotFraction;
+    }
+    return os.str();
+}
+
+std::vector<InputPlan>
+planCrossbar(const CrossbarConfig &cfg)
+{
+    fatal_if(cfg.ports == 0, "crossbar needs at least one port");
+    fatal_if(cfg.load <= 0.0, "crossbar load must be positive");
+    fatal_if(cfg.pattern == sw::TrafficPattern::Incast &&
+                 cfg.incastVictim >= cfg.ports,
+             "incast victim output ", cfg.incastVictim,
+             " out of range (", cfg.ports, " ports)");
+    fatal_if((cfg.pattern == sw::TrafficPattern::Hotspot ||
+              cfg.pattern == sw::TrafficPattern::Incast) &&
+                 (cfg.hotFraction <= 0.0 || cfg.hotFraction >= 1.0),
+             "hot fraction ", cfg.hotFraction,
+             " outside (0, 1) starves one side of the ",
+             sw::toString(cfg.pattern), " split");
+
+    const unsigned n = cfg.ports;
+    double rho = std::min(cfg.load, CrossbarConfig::kMaxInputLoad);
+    // A permutation input concentrates its whole rate on one VOQ; a
+    // 1x1 crossbar does so under *every* pattern.
+    if (cfg.pattern == sw::TrafficPattern::Permutation || n == 1)
+        rho = std::min(rho, CrossbarConfig::kMaxVoqLoad);
+
+    // Resolve the skewed patterns' probabilities against the output
+    // and per-VOQ load caps (pure arithmetic -- every input can be
+    // rebuilt from its plan alone).
+    const unsigned hot = resolvedHotOutputs(cfg);
+    double hot_fraction = 0.0;
+    if (cfg.pattern == sw::TrafficPattern::Hotspot) {
+        if (hot >= n) {
+            hot_fraction = 1.0;  // degenerate: every output is hot
+        } else {
+            // Aggregate rate on the hot side is n*rho*f spread over
+            // `hot` outputs; each input's hot VOQs carry rho*f/hot.
+            const double out_cap =
+                CrossbarConfig::kMaxSkewedOutputLoad * hot /
+                (n * rho);
+            const double voq_cap =
+                CrossbarConfig::kMaxVoqLoad * hot / rho;
+            hot_fraction =
+                std::min({cfg.hotFraction, out_cap, voq_cap});
+        }
+    }
+    double burst_start = 0.0;
+    if (cfg.pattern == sw::TrafficPattern::Incast && n > 1) {
+        // Victim-directed fraction phi.  The victim output takes
+        // the *bursty* aggregate cap (kMaxVoqLoad, the switch
+        // layer's kMaxBurstyLoad argument), not the milder skewed
+        // cap: a burst both concentrates arrivals on one VOQ and --
+        // because a work-conserving matching then drains that
+        // backlog at one cell per slot -- concentrates the service
+        // runs on the same bank group, and the two together must
+        // stay inside the Eq. (1) Requests Register sizing.
+        const double phi = std::min(
+            {cfg.hotFraction,
+             CrossbarConfig::kMaxVoqLoad / (n * rho),
+             CrossbarConfig::kMaxVoqLoad / rho});
+        // Arrivals alternate renewal cycles: a victim burst of mean
+        // length E = (1 + burstLen) / 2 with probability p, one
+        // non-victim cell otherwise.  phi = pE / (pE + 1 - p) gives
+        // p = phi / (E (1 - phi) + phi).
+        const double mean_burst = (1.0 + burstCap(cfg)) / 2.0;
+        burst_start = phi / (mean_burst * (1.0 - phi) + phi);
+    }
+
+    std::vector<InputPlan> plans;
+    plans.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        InputPlan plan;
+        plan.input = i;
+
+        DestPlan dest;
+        dest.pattern = cfg.pattern;
+        dest.outputs = n;
+        dest.hotOutputs = hot;
+        dest.hotFraction = hot_fraction;
+        dest.victim = cfg.incastVictim;
+        dest.burstLen = burstCap(cfg);
+        dest.burstStart = burst_start;
+        // Fixed crossbar permutation: input i -> output (i + 1) % n,
+        // a derangement for n > 1 so no input talks to "itself".
+        dest.permTarget = static_cast<QueueId>((i + 1) % n);
+        plan.dest = dest;
+
+        sim::Scenario s;
+        s.variant = cfg.variant;
+        s.workload = sim::WorkloadKind::Bernoulli;  // tag overrides
+        s.queues = n;  // one VOQ per output
+        s.granRads = cfg.granRads;
+        if (s.variant == sim::BufferVariant::Rads) {
+            s.gran = cfg.granRads;
+            s.groups = 1;
+        } else {
+            s.gran = cfg.gran;
+            s.groups = cfg.groups;
+        }
+        if (s.variant == sim::BufferVariant::CfdsRenaming) {
+            // Same shape the matrix's renaming legs use: more
+            // physical than logical queues and a DRAM tight enough
+            // that renaming chains actually form.
+            s.physQueues = 2 * n;
+            s.dramCells = 2ull * n * cfg.granRads;
+        }
+        s.load = rho;
+        s.slots = cfg.slots;
+        s.seed = sweep::deriveSeed(cfg.masterSeed, i);
+        // A work-conserving matching drains a backlogged VOQ in
+        // consecutive same-queue grants -- a service concentration
+        // the Eq. (1) RR sizing (randomized requests) does not
+        // model.  Provision the register for the worst run the plan
+        // admits: a full burst-cap backlog, one DRAM access per b
+        // cells on both the read and the write side.
+        const unsigned b = std::max(
+            1u, s.variant == sim::BufferVariant::Rads ? cfg.granRads
+                                                      : cfg.gran);
+        s.rrSlack = 2 * (burstCap(cfg) / b + 1);
+        // Name the workload that actually runs, so failure logs and
+        // --list lines describe the destination process exactly.
+        switch (cfg.pattern) {
+          case sw::TrafficPattern::Uniform:
+            s.workloadTag = "voq_uniform";
+            break;
+          case sw::TrafficPattern::Hotspot:
+            s.workloadTag = "voq_hot" + std::to_string(hot);
+            break;
+          case sw::TrafficPattern::Incast:
+            s.workloadTag =
+                "voq_incast" + std::to_string(cfg.incastVictim);
+            break;
+          case sw::TrafficPattern::Permutation:
+            s.workloadTag =
+                "voq_to" + std::to_string(dest.permTarget);
+            break;
+        }
+        plan.scenario = s;
+        plans.push_back(std::move(plan));
+    }
+    return plans;
+}
+
+CrossbarPortWorkload::CrossbarPortWorkload(const DestPlan &dest,
+                                           std::uint64_t seed,
+                                           double load,
+                                           bool self_greedy)
+    : sim::Workload(dest.outputs, seed), dest_(dest), load_(load),
+      self_greedy_(self_greedy)
+{
+    fatal_if(self_greedy && dest.outputs != 1,
+             "self-greedy crossbar workload requires exactly one "
+             "output, got ", dest.outputs);
+}
+
+QueueId
+CrossbarPortWorkload::arrivalQueue(Slot)
+{
+    // arrivalQueue runs before step() lands the arrival, so this is
+    // the same start-of-slot VOQ snapshot the matching engine hands
+    // its scheduler.
+    if (self_greedy_)
+        start_credit_ = credit(0);
+    if (!rng_.chance(load_))
+        return kInvalidQueue;
+    const unsigned n = dest_.outputs;
+    switch (dest_.pattern) {
+      case sw::TrafficPattern::Uniform:
+        return static_cast<QueueId>(rng_.below(n));
+      case sw::TrafficPattern::Hotspot:
+        if (dest_.hotOutputs >= n)
+            return static_cast<QueueId>(rng_.below(n));
+        if (rng_.chance(dest_.hotFraction))
+            return static_cast<QueueId>(
+                rng_.below(dest_.hotOutputs));
+        return static_cast<QueueId>(
+            dest_.hotOutputs + rng_.below(n - dest_.hotOutputs));
+      case sw::TrafficPattern::Incast: {
+        if (n == 1)
+            return static_cast<QueueId>(dest_.victim);
+        if (burst_remaining_ == 0 && rng_.chance(dest_.burstStart))
+            burst_remaining_ = 1 + rng_.below(dest_.burstLen);
+        if (burst_remaining_ > 0) {
+            --burst_remaining_;
+            return static_cast<QueueId>(dest_.victim);
+        }
+        // Uniform over the non-victim outputs.
+        auto q = static_cast<QueueId>(rng_.below(n - 1));
+        return q >= dest_.victim ? q + 1 : q;
+      }
+      case sw::TrafficPattern::Permutation:
+        return dest_.permTarget;
+    }
+    panic("unknown destination pattern");
+}
+
+QueueId
+CrossbarPortWorkload::requestQueue(Slot)
+{
+    if (self_greedy_)
+        return start_credit_ > 0 ? 0 : kInvalidQueue;
+    const QueueId g = grant_;
+    grant_ = kInvalidQueue;
+    return g;
+}
+
+void
+CrossbarPortWorkload::saveExtra(ser::Writer &w) const
+{
+    // Checkpoints happen between slots, after requestQueue consumed
+    // the grant -- a pending grant here means the engine and the
+    // inputs disagree about the slot boundary.
+    panic_if(grant_ != kInvalidQueue,
+             "crossbar workload checkpointed with a pending grant");
+    w.u64(burst_remaining_);
+}
+
+void
+CrossbarPortWorkload::loadExtra(ser::Reader &r)
+{
+    burst_remaining_ = r.u64();
+}
+
+std::unique_ptr<CrossbarPortWorkload>
+makeInputWorkload(const InputPlan &plan, bool self_greedy)
+{
+    return std::make_unique<CrossbarPortWorkload>(
+        plan.dest, plan.scenario.seed, plan.scenario.load,
+        self_greedy);
+}
+
+const sw::PortStatAgg *
+CrossbarReport::agg(const std::string &name) const
+{
+    for (const auto &[k, v] : aggregates)
+        if (k == name)
+            return &v;
+    return nullptr;
+}
+
+CrossbarRun::CrossbarRun(const CrossbarConfig &cfg)
+    : cfg_(cfg), plans_(planCrossbar(cfg)),
+      fingerprint_(ser::fnv1a(cfg.describe())),
+      sched_(makeScheduler(
+          cfg.scheduler, cfg.ports, cfg.islipIterations,
+          cfg.qpsWindow, sweep::deriveSeed(cfg.masterSeed, kSchedSalt))),
+      wl_(cfg.ports, nullptr)
+{
+    inputs_.reserve(cfg.ports);
+    for (unsigned i = 0; i < cfg.ports; ++i) {
+        // The factory runs synchronously inside the ScenarioRun
+        // constructor and hands back the owning pointer; wl_ keeps
+        // the derived view for grant injection.
+        inputs_.push_back(std::make_unique<soak::ScenarioRun>(
+            plans_[i].scenario, [this, i] {
+                auto w = makeInputWorkload(plans_[i]);
+                wl_[i] = w.get();
+                return w;
+            }));
+    }
+}
+
+void
+CrossbarRun::validate(Slot t, const Occupancy &occ,
+                      const Matching &m) const
+{
+    const unsigned n = cfg_.ports;
+    panic_if(m.size() != n, "scheduler ", sched_->name(),
+             " returned ", m.size(), " entries for ", n,
+             " inputs at slot ", t);
+    std::vector<bool> taken(n, false);
+    for (unsigned i = 0; i < n; ++i) {
+        const QueueId j = m[i];
+        if (j == kInvalidQueue)
+            continue;
+        panic_if(j >= n, "scheduler ", sched_->name(),
+                 " matched input ", i, " to invalid output ", j,
+                 " at slot ", t);
+        panic_if(taken[j], "scheduler ", sched_->name(),
+                 " granted output ", j, " twice at slot ", t);
+        panic_if(occ.at(i, j) == 0, "scheduler ", sched_->name(),
+                 " granted empty VOQ (", i, " -> ", j, ") at slot ",
+                 t);
+        taken[j] = true;
+    }
+}
+
+void
+CrossbarRun::runTo(std::uint64_t slot)
+{
+    fatal_if(slot < executed_, "cannot run backwards to slot ", slot,
+             " (already at ", executed_, ")");
+    fatal_if(slot > cfg_.slots, "slot ", slot,
+             " beyond the main phase (", cfg_.slots, " slots)");
+    const unsigned n = cfg_.ports;
+    for (std::uint64_t t = executed_; t < slot; ++t) {
+        // Start-of-slot VOQ snapshot: credits are cells arrived but
+        // not yet requested, exactly what the fabric may move.
+        Occupancy occ(n);
+        bool any = false;
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned j = 0; j < n; ++j) {
+                const auto c = wl_[i]->credit(j);
+                occ.at(i, j) = c;
+                any = any || c > 0;
+            }
+        }
+        Matching m(n, kInvalidQueue);
+        unsigned iters = 0;
+        if (any) {
+            // An all-empty fabric slot never consults the scheduler,
+            // so its RNG/pointer state stays a pure function of the
+            // traffic it actually arbitrated.
+            m = sched_->schedule(occ);
+            validate(t, occ, m);
+            iters = sched_->lastIterations();
+            ++active_slots_;
+            iter_sum_ += iters;
+            match_edges_ += matchingSize(m);
+        }
+        for (unsigned i = 0; i < n; ++i)
+            wl_[i]->setGrant(m[i]);
+        for (unsigned i = 0; i < n; ++i)
+            inputs_[i]->runTo(t + 1);
+        executed_ = t + 1;
+        if (any && onMatch)
+            onMatch(t, occ, m, iters);
+    }
+}
+
+std::string
+CrossbarRun::checkpoint() const
+{
+    ser::Writer w;
+    w.tag("XBAR");
+    w.u64(executed_);
+    w.u64(match_edges_);
+    w.u64(active_slots_);
+    w.u64(iter_sum_);
+    sched_->save(w);
+    w.u64(inputs_.size());
+    for (const auto &in : inputs_)
+        w.str(in->checkpoint());
+    return soak::sealCheckpoint(w.bytes(), fingerprint_);
+}
+
+void
+CrossbarRun::restore(const std::string &bytes)
+{
+    const std::string payload =
+        soak::openCheckpoint(bytes, fingerprint_);
+    ser::Reader r(payload);
+    r.tag("XBAR");
+    executed_ = r.u64();
+    fatal_if(executed_ > cfg_.slots, "checkpoint: executed slot ",
+             executed_, " beyond the main phase (", cfg_.slots, ")");
+    match_edges_ = r.u64();
+    active_slots_ = r.u64();
+    iter_sum_ = r.u64();
+    sched_->load(r);
+    const auto n = r.u64();
+    fatal_if(n != inputs_.size(), "checkpoint: ", n, " inputs, this "
+             "crossbar has ", inputs_.size());
+    for (auto &in : inputs_)
+        in->restore(r.str());
+    r.done();
+    for (const auto &in : inputs_)
+        fatal_if(in->executed() != executed_,
+                 "checkpoint: input slot cursor ", in->executed(),
+                 " diverges from the fabric's ", executed_);
+}
+
+namespace
+{
+
+/** One aggregated stat: its record name and per-input extractor. */
+struct StatDef
+{
+    const char *name;
+    double (*get)(const sim::ScenarioOutcome &);
+};
+
+constexpr StatDef kStatDefs[] = {
+    {"arrivals",
+     [](const sim::ScenarioOutcome &o) {
+         return static_cast<double>(o.run.arrivals);
+     }},
+    {"granted",
+     [](const sim::ScenarioOutcome &o) {
+         return static_cast<double>(o.verified);
+     }},
+    {"drained",
+     [](const sim::ScenarioOutcome &o) {
+         return static_cast<double>(o.drained);
+     }},
+    {"drops",
+     [](const sim::ScenarioOutcome &o) {
+         return static_cast<double>(o.run.drops);
+     }},
+    {"undelivered",
+     [](const sim::ScenarioOutcome &o) {
+         return static_cast<double>(o.undelivered);
+     }},
+    {"mean_delay_slots",
+     [](const sim::ScenarioOutcome &o) { return o.run.meanDelaySlots; }},
+    {"max_delay_slots",
+     [](const sim::ScenarioOutcome &o) { return o.run.maxDelaySlots; }},
+    {"dram_reads",
+     [](const sim::ScenarioOutcome &o) {
+         return static_cast<double>(o.report.dramReads);
+     }},
+    {"dram_writes",
+     [](const sim::ScenarioOutcome &o) {
+         return static_cast<double>(o.report.dramWrites);
+     }},
+    {"renames",
+     [](const sim::ScenarioOutcome &o) {
+         return static_cast<double>(o.report.renames);
+     }},
+    {"head_sram_hw",
+     [](const sim::ScenarioOutcome &o) {
+         return static_cast<double>(o.report.headSramHighWater);
+     }},
+    {"tail_sram_hw",
+     [](const sim::ScenarioOutcome &o) {
+         return static_cast<double>(o.report.tailSramHighWater);
+     }},
+    {"rr_hw",
+     [](const sim::ScenarioOutcome &o) {
+         return static_cast<double>(o.report.rrHighWater);
+     }},
+};
+
+CrossbarReport
+aggregateReport(const std::vector<sim::ScenarioOutcome> &inputs,
+                std::uint64_t match_edges, std::uint64_t active_slots,
+                std::uint64_t iter_sum)
+{
+    CrossbarReport r;
+    r.ports = static_cast<unsigned>(inputs.size());
+    for (const auto &o : inputs) {
+        if (!o.passed)
+            ++r.failedInputs;
+        r.arrivals += o.run.arrivals;
+        r.granted += o.verified;
+        r.drained += o.drained;
+        r.drops += o.run.drops;
+        r.undelivered += o.undelivered;
+        r.dramReads += o.report.dramReads;
+        r.dramWrites += o.report.dramWrites;
+        r.renames += o.report.renames;
+    }
+    r.matchEdges = match_edges;
+    r.activeSlots = active_slots;
+    r.iterSum = iter_sum;
+    r.throughput =
+        r.arrivals
+            ? static_cast<double>(match_edges) / r.arrivals
+            : 0.0;
+    r.meanMatchSize =
+        active_slots
+            ? static_cast<double>(match_edges) / active_slots
+            : 0.0;
+    r.meanIterations =
+        active_slots ? static_cast<double>(iter_sum) / active_slots
+                     : 0.0;
+    for (const auto &def : kStatDefs) {
+        std::vector<double> values;
+        values.reserve(inputs.size());
+        for (const auto &o : inputs)
+            values.push_back(def.get(o));
+        r.aggregates.emplace_back(def.name,
+                                  sw::aggregateStat(values));
+    }
+    return r;
+}
+
+} // namespace
+
+CrossbarOutcome
+CrossbarRun::finish()
+{
+    CrossbarOutcome out;
+    out.plans = plans_;
+    std::string why;
+    try {
+        runTo(cfg_.slots);
+    } catch (const std::exception &e) {
+        why = std::string("exception: ") + e.what() + "; ";
+    }
+    out.inputs.reserve(inputs_.size());
+    for (auto &in : inputs_)
+        out.inputs.push_back(in->finish());
+    out.report = aggregateReport(out.inputs, match_edges_,
+                                 active_slots_, iter_sum_);
+    out.passed = why.empty() && out.report.failedInputs == 0;
+    if (!out.passed) {
+        std::ostringstream os;
+        os << why;
+        for (std::size_t i = 0; i < out.inputs.size(); ++i) {
+            if (out.inputs[i].passed)
+                continue;
+            if (os.tellp() > 0)
+                os << " | ";
+            os << "input" << plans_[i].input << ": "
+               << out.inputs[i].failure;
+        }
+        os << " [" << cfg_.describe() << "]";
+        out.failure = os.str();
+    }
+    return out;
+}
+
+CrossbarOutcome
+runCrossbar(const CrossbarConfig &cfg)
+{
+    try {
+        CrossbarRun run(cfg);
+        return run.finish();
+    } catch (const std::exception &e) {
+        CrossbarOutcome out;
+        out.failure = std::string("exception: ") + e.what() + "; [" +
+                      cfg.describe() + "]";
+        return out;
+    }
+}
+
+CrossbarOutcome
+runCrossbarCheckpointed(const CrossbarConfig &cfg,
+                        std::uint64_t every)
+{
+    try {
+        auto run = std::make_unique<CrossbarRun>(cfg);
+        if (every > 0) {
+            for (std::uint64_t at = every; at < cfg.slots;
+                 at += every) {
+                run->runTo(at);
+                const std::string bytes = run->checkpoint();
+                // Restore into entirely fresh objects: the same
+                // rebuild a cross-process resume performs.
+                run = std::make_unique<CrossbarRun>(cfg);
+                run->restore(bytes);
+            }
+        }
+        return run->finish();
+    } catch (const std::exception &e) {
+        CrossbarOutcome out;
+        out.failure = std::string("exception: ") + e.what() + "; [" +
+                      cfg.describe() + "]";
+        return out;
+    }
+}
+
+sweep::Record
+inputRecord(const InputPlan &plan, const sim::ScenarioOutcome &out)
+{
+    auto rec = sweep::scenarioRecord(plan.scenario, out);
+    rec.set("input", plan.input)
+        .set("pattern", sw::toString(plan.dest.pattern));
+    if (plan.dest.pattern == sw::TrafficPattern::Incast)
+        rec.set("victim_output", plan.dest.victim);
+    if (plan.dest.pattern == sw::TrafficPattern::Permutation)
+        rec.set("target_output", plan.dest.permTarget);
+    return rec;
+}
+
+sweep::Record
+crossbarRecord(const CrossbarConfig &cfg, const CrossbarOutcome &out)
+{
+    const auto &r = out.report;
+    sweep::Record rec;
+    rec.set("name", cfg.name())
+        .set("pattern", sw::toString(cfg.pattern))
+        .set("scheduler", xbar::toString(cfg.scheduler))
+        .set("islip_iters", cfg.islipIterations)
+        .set("qps_window", cfg.qpsWindow)
+        .set("ports", cfg.ports)
+        .set("variant", sim::toString(cfg.variant))
+        .set("B", cfg.granRads)
+        .set("b", cfg.gran)
+        .set("groups", cfg.groups)
+        .set("load", cfg.load)
+        .set("slots", cfg.slots)
+        .set("master_seed", cfg.masterSeed)
+        .set("passed", out.passed)
+        .set("failed_inputs", r.failedInputs)
+        .set("arrivals", r.arrivals)
+        .set("granted", r.granted)
+        .set("drained", r.drained)
+        .set("drops", r.drops)
+        .set("undelivered", r.undelivered)
+        .set("dram_reads", r.dramReads)
+        .set("dram_writes", r.dramWrites)
+        .set("renames", r.renames)
+        .set("match_edges", r.matchEdges)
+        .set("active_slots", r.activeSlots)
+        .set("iter_sum", r.iterSum)
+        .set("throughput", r.throughput)
+        .set("mean_match_size", r.meanMatchSize)
+        .set("mean_iterations", r.meanIterations);
+    // Full across-input spread for the headline stats.
+    for (const char *name :
+         {"granted", "drops", "mean_delay_slots", "max_delay_slots",
+          "head_sram_hw", "rr_hw"}) {
+        const sw::PortStatAgg *a = r.agg(name);
+        panic_if(!a, "missing aggregate for ", name);
+        const std::string n = name;
+        rec.set(n + "_min", a->min)
+            .set(n + "_max", a->max)
+            .set(n + "_mean", a->mean)
+            .set(n + "_p50", a->p50)
+            .set(n + "_p99", a->p99);
+    }
+    return rec;
+}
+
+void
+emitCrossbarArtifacts(const CrossbarConfig &cfg,
+                      const CrossbarOutcome &out,
+                      const std::string &tool,
+                      sweep::Record extra_meta,
+                      const std::string &json_path,
+                      const std::string &csv_path)
+{
+    if (json_path.empty() && csv_path.empty())
+        return;
+    // Reconstruct the (tasks, report) pair the sweep emitters
+    // expect; the task callables are never run -- only the names
+    // label the rows.
+    std::vector<sweep::Task> tasks;
+    sweep::SweepReport rep;
+    for (std::size_t i = 0; i < out.plans.size(); ++i) {
+        tasks.push_back(sweep::Task{
+            "input" + std::to_string(out.plans[i].input), {}});
+        sweep::TaskResult tr;
+        tr.records.push_back(
+            inputRecord(out.plans[i], out.inputs[i]));
+        tr.ok = out.inputs[i].passed;
+        if (!tr.ok) {
+            tr.error = out.inputs[i].failure;
+            ++rep.failed;
+        }
+        rep.results.push_back(std::move(tr));
+    }
+    tasks.push_back(sweep::Task{"aggregate", {}});
+    sweep::TaskResult agg;
+    agg.records.push_back(crossbarRecord(cfg, out));
+    agg.ok = out.passed;
+    if (!out.passed) {
+        agg.error = out.failure;
+        // Keep the schema invariant: "failed" counts exactly the
+        // rows that carry ok=false, and the aggregate row is one.
+        ++rep.failed;
+    }
+    rep.results.push_back(std::move(agg));
+
+    extra_meta.set("crossbar", cfg.name())
+        .set("pattern", sw::toString(cfg.pattern))
+        .set("scheduler", xbar::toString(cfg.scheduler))
+        .set("ports", cfg.ports)
+        .set("master_seed", cfg.masterSeed);
+    sweep::emitArtifacts(rep, tasks,
+                         sweep::EmitMeta{tool, std::move(extra_meta)},
+                         json_path, csv_path);
+}
+
+} // namespace pktbuf::xbar

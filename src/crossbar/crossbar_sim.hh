@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Input-queued crossbar: N input ports, each holding one VOQ per
+ * output backed by a full hybrid SRAM/DRAM buffer, arbitrated per
+ * slot by a pluggable matching scheduler (scheduler.hh).
+ *
+ * Unlike src/switch/ -- N *independent* ports -- the crossbar couples
+ * the ports through the fabric: an input may send at most one cell
+ * per slot, an output may receive at most one, and which VOQ drains
+ * is decided by the matching, so the buffer's SRAM/DRAM dynamics
+ * finally interact with fabric-induced contention.
+ *
+ * The layering deliberately adds no second simulation code path:
+ * input i *is* a soak::ScenarioRun (the checkpointable
+ * runScenarioWith() skeleton) whose workload's requests are the
+ * matching engine's grants.  Per slot the engine snapshots every
+ * input's VOQ credits into an Occupancy matrix, asks the scheduler
+ * for a matching, validates it (conflict-free, backed -- panics
+ * otherwise: a bad matching is a scheduler bug), injects each grant
+ * into its input's workload and advances all inputs one lockstep
+ * slot.  A 1x1 crossbar therefore reproduces the matching
+ * single-buffer scenario leg bit-for-bit (any maximal scheduler is
+ * work-conserving at N == 1), and checkpoint/restore of the whole
+ * fabric -- scheduler pointers, RNG, every input's sealed envelope --
+ * is bit-identical to an unbroken run.  tests/test_crossbar.cc
+ * enforces both.
+ *
+ * Destination patterns reuse the switch layer's TrafficPattern
+ * vocabulary, reinterpreted over *outputs*: uniform spreads each
+ * input's arrivals over all outputs, hotspot concentrates a fraction
+ * on a few hot outputs, incast aims bursts at one victim output,
+ * permutation pins each input to a fixed seeded partner output.
+ * Skewed patterns resolve their knobs against per-output load caps
+ * (pure arithmetic, see planCrossbar) so every requested
+ * configuration is admissible by construction.
+ */
+
+#ifndef PKTBUF_CROSSBAR_CROSSBAR_SIM_HH
+#define PKTBUF_CROSSBAR_CROSSBAR_SIM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crossbar/scheduler.hh"
+#include "sim/scenario.hh"
+#include "sim/workload.hh"
+#include "soak/checkpoint.hh"
+#include "sweep/record.hh"
+#include "switch/switch_sim.hh"
+#include "switch/traffic.hh"
+
+namespace pktbuf::xbar
+{
+
+/** Static configuration of a whole crossbar run. */
+struct CrossbarConfig
+{
+    /** Crossbar radix: N inputs x N outputs, one VOQ per pair. */
+    unsigned ports = 4;
+
+    /** Destination pattern, over *outputs* (see file comment). */
+    sw::TrafficPattern pattern = sw::TrafficPattern::Uniform;
+
+    SchedulerKind scheduler = SchedulerKind::Islip;
+    /** iSLIP request/grant/accept rounds per slot. */
+    unsigned islipIterations = 4;
+    /** QPS sliding-window hold length in slots. */
+    unsigned qpsWindow = 8;
+
+    /** Buffer architecture of every input port. */
+    sim::BufferVariant variant = sim::BufferVariant::Cfds;
+    unsigned granRads = 8;  //!< B
+    unsigned gran = 2;      //!< b (forced to B on RADS)
+    unsigned groups = 4;    //!< G (forced to 1 on RADS)
+
+    /** Mean offered load per input (arrival probability per slot). */
+    double load = 0.45;
+
+    std::uint64_t slots = 20000;
+
+    /**
+     * Every input's seed is deriveSeed(masterSeed, input); the
+     * scheduler draws from deriveSeed(masterSeed, kSchedSalt), so no
+     * stream depends on any other.
+     */
+    std::uint64_t masterSeed = 1;
+
+    /** Hotspot: hot output count; 0 = max(1, ports/4). */
+    unsigned hotOutputs = 0;
+    /** Hotspot: requested fraction of arrivals on the hot side
+     *  (clamped so no hot output exceeds kMaxSkewedOutputLoad). */
+    double hotFraction = 0.5;
+
+    /** Incast: victim output index (must be < ports). */
+    unsigned incastVictim = 0;
+    /** Incast: mean destination-burst length toward the victim. */
+    std::uint64_t incastBurst = 64;
+
+    /** Hard cap on any input's offered load. */
+    static constexpr double kMaxInputLoad = 0.9;
+    /**
+     * Hard cap on the aggregate load converging on one *skewed*
+     * output (hotspot / incast).  An output drains at most one cell
+     * per slot, but a skewed output's cells also concentrate on one
+     * VOQ per input, whose bank group sustains only 1 access per b
+     * slots -- the same concentration argument behind
+     * sw::SwitchConfig::kMaxBurstyLoad.
+     */
+    static constexpr double kMaxSkewedOutputLoad = 0.75;
+    /**
+     * Hard cap on a permutation input's load: the whole input rate
+     * lands on a single VOQ (DESIGN.md's concentration bound, the
+     * renaming property envelope's 0.45).
+     */
+    static constexpr double kMaxVoqLoad = 0.45;
+
+    /** Unique, file/test-name-safe identifier of the run. */
+    std::string name() const;
+    /** name() plus every resolved knob and -- always -- the master
+     *  seed, so any failure replays from the log alone.  Also the
+     *  checkpoint-fingerprint text. */
+    std::string describe() const;
+};
+
+/** Resolved destination process of one input (pure data). */
+struct DestPlan
+{
+    sw::TrafficPattern pattern = sw::TrafficPattern::Uniform;
+    /** Output count (the VOQ fan-out). */
+    unsigned outputs = 1;
+    /** Hotspot: hot outputs are [0, hotOutputs). */
+    unsigned hotOutputs = 0;
+    /** Hotspot: resolved per-arrival probability of the hot side. */
+    double hotFraction = 0.0;
+    /** Incast: the victim output. */
+    unsigned victim = 0;
+    /** Incast: burst length is 1 + below(burstLen). */
+    std::uint64_t burstLen = 1;
+    /** Incast: per-arrival probability of starting a victim burst. */
+    double burstStart = 0.0;
+    /** Permutation: this input's fixed partner output. */
+    QueueId permTarget = 0;
+};
+
+/**
+ * Fully resolved plan of one input port: the scenario leg it runs
+ * (buffer config, resolved load, derived seed, slot budget) plus its
+ * destination process.  Self-contained, like sw::PortPlan -- the
+ * whole crossbar is a pure function of the plan list.
+ */
+struct InputPlan
+{
+    unsigned input = 0;
+    /** The leg: variant, queues (= outputs), load, seed, slots. */
+    sim::Scenario scenario;
+    DestPlan dest;
+};
+
+/**
+ * Resolve a crossbar configuration into one plan per input: derive
+ * seeds, resolve the destination pattern's probabilities against the
+ * per-output load caps, shape each input's scenario leg.  fatal() on
+ * impossible knobs (zero ports, victim out of range, load outside
+ * (0, kMaxInputLoad]).
+ */
+std::vector<InputPlan> planCrossbar(const CrossbarConfig &cfg);
+
+/**
+ * Workload of one crossbar input: arrivals pick a destination VOQ by
+ * the input's DestPlan (own RNG -- streams are input-local); requests
+ * replay the matching engine's grant, injected via setGrant() just
+ * before the slot advances.
+ *
+ * In self-greedy mode (valid only for 1 output) the workload instead
+ * requests its single VOQ whenever the VOQ was non-empty at the
+ * start of the slot -- exactly the decision any maximal 1x1 matching
+ * makes -- which is how the equivalence tests build the reference
+ * single-buffer leg without a crossbar engine in the loop.
+ */
+class CrossbarPortWorkload : public sim::Workload
+{
+  public:
+    /**
+     * @param dest resolved destination process
+     * @param seed this input's RNG seed
+     * @param load arrival probability per slot
+     * @param self_greedy serve the single VOQ greedily instead of
+     *        waiting for grants (requires dest.outputs == 1)
+     */
+    CrossbarPortWorkload(const DestPlan &dest, std::uint64_t seed,
+                         double load, bool self_greedy = false);
+
+    std::string name() const override { return "crossbar-voq"; }
+
+    /** Inject this slot's grant (kInvalidQueue = unmatched). */
+    void
+    setGrant(QueueId out)
+    {
+        grant_ = out;
+    }
+
+  protected:
+    QueueId arrivalQueue(Slot now) override;
+    QueueId requestQueue(Slot now) override;
+    void saveExtra(ser::Writer &w) const override;
+    void loadExtra(ser::Reader &r) override;
+
+  private:
+    DestPlan dest_;
+    double load_;
+    bool self_greedy_;
+    /** Engine-injected grant; consumed (reset) every slot. */
+    QueueId grant_ = kInvalidQueue;
+    /** Incast: cells left in the current victim-directed burst. */
+    std::uint64_t burst_remaining_ = 0;
+    /**
+     * Self-greedy only: the VOQ depth at the *start* of the slot
+     * (sampled in arrivalQueue, before the arrival lands) -- the
+     * same snapshot the matching engine hands its scheduler.
+     * Transient: rewritten every slot before requestQueue reads it,
+     * so it is deliberately not checkpointed.
+     */
+    std::uint64_t start_credit_ = 0;
+};
+
+/** Instantiate the workload one input plan calls for. */
+std::unique_ptr<CrossbarPortWorkload>
+makeInputWorkload(const InputPlan &plan, bool self_greedy = false);
+
+/** Crossbar-level aggregation of the per-input outcomes. */
+struct CrossbarReport
+{
+    unsigned ports = 0;
+    std::size_t failedInputs = 0;
+
+    /** Straight sums over inputs. */
+    std::uint64_t arrivals = 0;
+    std::uint64_t granted = 0;  //!< golden-verified grants
+    std::uint64_t drained = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t undelivered = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t renames = 0;
+
+    /** Fabric counters (main phase only, before the drain). */
+    std::uint64_t matchEdges = 0;   //!< granted fabric transfers
+    std::uint64_t activeSlots = 0;  //!< slots with any backed VOQ
+    std::uint64_t iterSum = 0;      //!< scheduler iterations total
+
+    /** matchEdges / arrivals: fraction of offered cells the fabric
+     *  served within the main phase (the headline throughput). */
+    double throughput = 0.0;
+    /** matchEdges / activeSlots. */
+    double meanMatchSize = 0.0;
+    /** iterSum / activeSlots. */
+    double meanIterations = 0.0;
+
+    /** Per-stat spread across inputs (sw::aggregateStat), keyed by
+     *  the scenarioRecord field names, in emission order. */
+    std::vector<std::pair<std::string, sw::PortStatAgg>> aggregates;
+
+    /** The named aggregate, or nullptr when absent. */
+    const sw::PortStatAgg *agg(const std::string &name) const;
+};
+
+/** Outcome of a whole crossbar run. */
+struct CrossbarOutcome
+{
+    /** The plans that ran, in input order. */
+    std::vector<InputPlan> plans;
+    /** Per-input outcomes, in input order. */
+    std::vector<sim::ScenarioOutcome> inputs;
+    CrossbarReport report;
+    bool passed = false;
+    /** Every failure's diagnosis (each names the master seed). */
+    std::string failure;
+};
+
+/**
+ * The crossbar engine: N lockstep ScenarioRun inputs coupled by the
+ * matching scheduler.  Checkpointable at any main-phase slot.
+ *
+ * Usage mirrors soak::ScenarioRun:
+ *   CrossbarRun a(cfg);
+ *   a.runTo(k);
+ *   auto bytes = a.checkpoint();
+ *   CrossbarRun b(cfg);        // fresh objects, same config
+ *   b.restore(bytes);
+ *   auto out = b.finish();     // == runCrossbar(cfg) bit for bit
+ */
+class CrossbarRun
+{
+  public:
+    /** Build every input and the scheduler; fatal() on bad knobs. */
+    explicit CrossbarRun(const CrossbarConfig &cfg);
+
+    const CrossbarConfig &config() const { return cfg_; }
+    const std::vector<InputPlan> &plans() const { return plans_; }
+    const Scheduler &scheduler() const { return *sched_; }
+
+    /** Advance the main phase to absolute slot `slot` (<= slots). */
+    void runTo(std::uint64_t slot);
+
+    /** Main-phase slots executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Snapshot the fabric into a sealed soak envelope ("PKCK",
+     * fingerprinted with *this* config's describe() text): slot
+     * cursor, fabric counters, scheduler state, then every input's
+     * own sealed ScenarioRun envelope, length-prefixed.
+     */
+    std::string checkpoint() const;
+
+    /** Replace this run's state with a checkpoint's.  FatalError on
+     *  corruption or a foreign configuration. */
+    void restore(const std::string &bytes);
+
+    /**
+     * Run the remaining main-phase slots, then complete every input
+     * through soak::ScenarioRun::finish() (golden totals, full
+     * drain) and aggregate the crossbar report.
+     */
+    CrossbarOutcome finish();
+
+    /**
+     * Test observer: called once per *active* slot (non-empty
+     * occupancy) with the start-of-slot occupancy, the validated
+     * matching and the scheduler's iteration count.  Not part of the
+     * checkpointed state.
+     */
+    std::function<void(Slot, const Occupancy &, const Matching &,
+                       unsigned)>
+        onMatch;
+
+  private:
+    void validate(Slot t, const Occupancy &occ,
+                  const Matching &m) const;
+
+    CrossbarConfig cfg_;
+    std::vector<InputPlan> plans_;
+    std::uint64_t fingerprint_;
+    std::unique_ptr<Scheduler> sched_;
+    std::vector<std::unique_ptr<soak::ScenarioRun>> inputs_;
+    /** The inputs' workloads (owned by inputs_), for grant
+     *  injection and occupancy snapshots. */
+    std::vector<CrossbarPortWorkload *> wl_;
+    std::uint64_t executed_ = 0;
+    std::uint64_t match_edges_ = 0;
+    std::uint64_t active_slots_ = 0;
+    std::uint64_t iter_sum_ = 0;
+};
+
+/**
+ * Run one crossbar end to end.  Never throws: panics and fatals
+ * become a failed outcome whose message carries describe() (and so
+ * the master seed).
+ */
+CrossbarOutcome runCrossbar(const CrossbarConfig &cfg);
+
+/**
+ * Run one crossbar, checkpointing every `every` main-phase slots and
+ * restoring each snapshot into a completely fresh CrossbarRun before
+ * continuing -- the crossbar soak self-test.  `every` == 0 (or >=
+ * slots) degenerates to a plain run.  Never throws.
+ */
+CrossbarOutcome runCrossbarCheckpointed(const CrossbarConfig &cfg,
+                                        std::uint64_t every);
+
+/**
+ * One result row per input: the scenario record of the input's leg
+ * plus input index, pattern and destination role.  The 1x1
+ * equivalence tests byte-compare the scenario-record prefix against
+ * the matching single-buffer leg.
+ */
+sweep::Record inputRecord(const InputPlan &plan,
+                          const sim::ScenarioOutcome &out);
+
+/** The aggregate row: configuration echo, sums, fabric metrics and
+ *  min/max/mean/p50/p99 of the headline per-input stats. */
+sweep::Record crossbarRecord(const CrossbarConfig &cfg,
+                             const CrossbarOutcome &out);
+
+/**
+ * Emit the sweep-schema JSON/CSV artifacts of a finished run: one
+ * row per input (in input order) plus one final "aggregate" row.
+ * Purely a function of the outcome.  Paths: empty = skip, "-" =
+ * stdout.
+ */
+void emitCrossbarArtifacts(const CrossbarConfig &cfg,
+                           const CrossbarOutcome &out,
+                           const std::string &tool,
+                           sweep::Record extra_meta,
+                           const std::string &json_path,
+                           const std::string &csv_path);
+
+} // namespace pktbuf::xbar
+
+#endif // PKTBUF_CROSSBAR_CROSSBAR_SIM_HH

@@ -1,0 +1,428 @@
+#include "scheduler.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pktbuf::xbar
+{
+
+std::size_t
+matchingSize(const Matching &m)
+{
+    std::size_t n = 0;
+    for (const auto out : m)
+        n += out != kInvalidQueue ? 1 : 0;
+    return n;
+}
+
+bool
+matchingConflictFree(const Matching &m, unsigned ports)
+{
+    if (m.size() != ports)
+        return false;
+    std::vector<bool> taken(ports, false);
+    for (const auto out : m) {
+        if (out == kInvalidQueue)
+            continue;
+        if (out >= ports || taken[out])
+            return false;
+        taken[out] = true;
+    }
+    return true;
+}
+
+bool
+matchingBacked(const Matching &m, const Occupancy &occ)
+{
+    for (unsigned i = 0; i < occ.ports(); ++i) {
+        if (m[i] != kInvalidQueue && occ.at(i, m[i]) == 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+matchingMaximal(const Matching &m, const Occupancy &occ)
+{
+    const unsigned n = occ.ports();
+    std::vector<bool> taken(n, false);
+    for (const auto out : m)
+        if (out != kInvalidQueue)
+            taken[out] = true;
+    for (unsigned i = 0; i < n; ++i) {
+        if (m[i] != kInvalidQueue)
+            continue;
+        for (unsigned j = 0; j < n; ++j) {
+            if (!taken[j] && occ.at(i, j) > 0)
+                return false;  // augmenting edge (i, j) exists
+        }
+    }
+    return true;
+}
+
+namespace
+{
+
+/** One Kuhn augmenting-path step from input `i`. */
+bool
+augment(const Occupancy &occ, unsigned i, std::vector<bool> &visited,
+        std::vector<unsigned> &owner)
+{
+    const unsigned n = occ.ports();
+    for (unsigned j = 0; j < n; ++j) {
+        if (occ.at(i, j) == 0 || visited[j])
+            continue;
+        visited[j] = true;
+        if (owner[j] == n || augment(occ, owner[j], visited, owner)) {
+            owner[j] = i;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+unsigned
+maximumMatchingSize(const Occupancy &occ)
+{
+    const unsigned n = occ.ports();
+    std::vector<unsigned> owner(n, n);  // output -> matched input
+    unsigned size = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        std::vector<bool> visited(n, false);
+        if (augment(occ, i, visited, owner))
+            ++size;
+    }
+    return size;
+}
+
+std::string
+toString(SchedulerKind k)
+{
+    switch (k) {
+      case SchedulerKind::Islip:
+        return "islip";
+      case SchedulerKind::Qps:
+        return "qps";
+      case SchedulerKind::RandomMaximal:
+        return "random";
+    }
+    return "?";
+}
+
+bool
+parseSchedulerKind(const std::string &token, SchedulerKind &out)
+{
+    if (token == "islip")
+        out = SchedulerKind::Islip;
+    else if (token == "qps")
+        out = SchedulerKind::Qps;
+    else if (token == "random")
+        out = SchedulerKind::RandomMaximal;
+    else
+        return false;
+    return true;
+}
+
+IslipScheduler::IslipScheduler(unsigned ports, unsigned iterations)
+    : ports_(ports), iterations_(iterations), g_(ports, 0),
+      a_(ports, 0)
+{
+    fatal_if(ports == 0, "islip: zero ports");
+    fatal_if(iterations == 0, "islip: zero iterations");
+}
+
+std::string
+IslipScheduler::name() const
+{
+    std::ostringstream os;
+    os << "islip" << iterations_;
+    return os.str();
+}
+
+Matching
+IslipScheduler::schedule(const Occupancy &occ)
+{
+    const unsigned n = ports_;
+    Matching match(n, kInvalidQueue);
+    std::vector<bool> out_matched(n, false);
+    last_iters_ = 0;
+    for (unsigned it = 0; it < iterations_; ++it) {
+        // Grant: each unmatched output picks the first unmatched
+        // input with a backed VOQ at or after its grant pointer.
+        std::vector<QueueId> grant(n, kInvalidQueue);
+        for (unsigned j = 0; j < n; ++j) {
+            if (out_matched[j])
+                continue;
+            for (unsigned k = 0; k < n; ++k) {
+                const unsigned i = (g_[j] + k) % n;
+                if (match[i] == kInvalidQueue && occ.at(i, j) > 0) {
+                    grant[j] = i;
+                    break;
+                }
+            }
+        }
+        // Accept: each unmatched input picks the first granting
+        // output at or after its accept pointer.  Pointers move one
+        // past the partner only on first-iteration accepts.
+        bool progress = false;
+        for (unsigned i = 0; i < n; ++i) {
+            if (match[i] != kInvalidQueue)
+                continue;
+            for (unsigned k = 0; k < n; ++k) {
+                const unsigned j = (a_[i] + k) % n;
+                if (grant[j] != i)
+                    continue;
+                match[i] = j;
+                out_matched[j] = true;
+                progress = true;
+                if (it == 0) {
+                    g_[j] = (i + 1) % n;
+                    a_[i] = (j + 1) % n;
+                }
+                break;
+            }
+        }
+        if (!progress)
+            break;
+        ++last_iters_;
+    }
+    return match;
+}
+
+void
+IslipScheduler::save(ser::Writer &w) const
+{
+    w.tag("ISLP");
+    for (const auto p : g_)
+        w.u32(p);
+    for (const auto p : a_)
+        w.u32(p);
+}
+
+void
+IslipScheduler::load(ser::Reader &r)
+{
+    r.tag("ISLP");
+    for (auto &p : g_)
+        p = r.u32();
+    for (auto &p : a_)
+        p = r.u32();
+    for (const auto p : g_)
+        fatal_if(p >= ports_, "checkpoint: islip grant pointer ", p,
+                 " out of range");
+    for (const auto p : a_)
+        fatal_if(p >= ports_, "checkpoint: islip accept pointer ", p,
+                 " out of range");
+}
+
+QpsScheduler::QpsScheduler(unsigned ports, unsigned window,
+                           std::uint64_t seed)
+    : ports_(ports), window_(window), rng_(seed), held_(ports)
+{
+    fatal_if(ports == 0, "qps: zero ports");
+    fatal_if(window == 0, "qps: zero window");
+}
+
+std::string
+QpsScheduler::name() const
+{
+    std::ostringstream os;
+    os << "qps_w" << window_;
+    return os.str();
+}
+
+Matching
+QpsScheduler::schedule(const Occupancy &occ)
+{
+    const unsigned n = ports_;
+    Matching match(n, kInvalidQueue);
+    std::vector<bool> out_taken(n, false);
+    last_iters_ = 0;
+
+    // Phase 1 -- sliding-window hold: keep last slot's edge while it
+    // is younger than the window and its VOQ is still backed.
+    bool held_any = false;
+    for (unsigned i = 0; i < n; ++i) {
+        auto &h = held_[i];
+        if (h.out != kInvalidQueue && h.age < window_ &&
+            occ.at(i, h.out) > 0 && !out_taken[h.out]) {
+            match[i] = h.out;
+            out_taken[h.out] = true;
+            ++h.age;
+            held_any = true;
+        } else {
+            h = Hold{};
+        }
+    }
+    if (held_any)
+        ++last_iters_;
+
+    // Phase 2 -- queue-proportional sampling: one proposal per
+    // unmatched input, drawn with probability proportional to VOQ
+    // depth; each free output accepts the deepest proposal.
+    std::vector<QueueId> proposal(n, kInvalidQueue);
+    for (unsigned i = 0; i < n; ++i) {
+        if (match[i] != kInvalidQueue)
+            continue;
+        const auto total = occ.rowTotal(i);
+        if (total == 0)
+            continue;
+        auto pick = rng_.below(total);
+        for (unsigned j = 0; j < n; ++j) {
+            const auto c = occ.at(i, j);
+            if (pick < c) {
+                proposal[i] = j;
+                break;
+            }
+            pick -= c;
+        }
+    }
+    bool sampled_any = false;
+    for (unsigned j = 0; j < n; ++j) {
+        if (out_taken[j])
+            continue;
+        unsigned best = n;
+        std::uint64_t best_depth = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            if (proposal[i] == j && occ.at(i, j) > best_depth) {
+                best = i;
+                best_depth = occ.at(i, j);
+            }
+        }
+        if (best < n) {
+            match[best] = j;
+            out_taken[j] = true;
+            held_[best] = Hold{static_cast<QueueId>(j), 0};
+            sampled_any = true;
+        }
+    }
+    if (sampled_any)
+        ++last_iters_;
+
+    // Phase 3 -- greedy completion to a maximal matching.
+    bool filled_any = false;
+    for (unsigned i = 0; i < n; ++i) {
+        if (match[i] != kInvalidQueue)
+            continue;
+        for (unsigned j = 0; j < n; ++j) {
+            if (out_taken[j] || occ.at(i, j) == 0)
+                continue;
+            match[i] = j;
+            out_taken[j] = true;
+            held_[i] = Hold{static_cast<QueueId>(j), 0};
+            filled_any = true;
+            break;
+        }
+    }
+    if (filled_any)
+        ++last_iters_;
+    return match;
+}
+
+void
+QpsScheduler::save(ser::Writer &w) const
+{
+    w.tag("QPSS");
+    rng_.save(w);
+    for (const auto &h : held_) {
+        w.u32(h.out);
+        w.u64(h.age);
+    }
+}
+
+void
+QpsScheduler::load(ser::Reader &r)
+{
+    r.tag("QPSS");
+    rng_.load(r);
+    for (auto &h : held_) {
+        h.out = r.u32();
+        h.age = r.u64();
+        fatal_if(h.out != kInvalidQueue && h.out >= ports_,
+                 "checkpoint: qps held output out of range");
+        fatal_if(h.out != kInvalidQueue && h.age > window_,
+                 "checkpoint: qps hold age beyond window");
+    }
+}
+
+RandomMaximalScheduler::RandomMaximalScheduler(unsigned ports,
+                                               std::uint64_t seed)
+    : ports_(ports), rng_(seed)
+{
+    fatal_if(ports == 0, "random scheduler: zero ports");
+}
+
+Matching
+RandomMaximalScheduler::schedule(const Occupancy &occ)
+{
+    const unsigned n = ports_;
+    Matching match(n, kInvalidQueue);
+    std::vector<bool> out_taken(n, false);
+
+    // Fresh random service order over the inputs (Fisher-Yates).
+    std::vector<unsigned> order(n);
+    for (unsigned i = 0; i < n; ++i)
+        order[i] = i;
+    for (unsigned i = n - 1; i > 0; --i) {
+        const auto j = static_cast<unsigned>(rng_.below(i + 1));
+        std::swap(order[i], order[j]);
+    }
+
+    for (const unsigned i : order) {
+        unsigned candidates = 0;
+        for (unsigned j = 0; j < n; ++j)
+            candidates += (!out_taken[j] && occ.at(i, j) > 0) ? 1 : 0;
+        if (candidates == 0)
+            continue;
+        auto pick = rng_.below(candidates);
+        for (unsigned j = 0; j < n; ++j) {
+            if (out_taken[j] || occ.at(i, j) == 0)
+                continue;
+            if (pick-- == 0) {
+                match[i] = j;
+                out_taken[j] = true;
+                break;
+            }
+        }
+    }
+    last_iters_ = 1;
+    return match;
+}
+
+void
+RandomMaximalScheduler::save(ser::Writer &w) const
+{
+    w.tag("RMAX");
+    rng_.save(w);
+}
+
+void
+RandomMaximalScheduler::load(ser::Reader &r)
+{
+    r.tag("RMAX");
+    rng_.load(r);
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerKind k, unsigned ports,
+              unsigned islip_iterations, unsigned qps_window,
+              std::uint64_t seed)
+{
+    switch (k) {
+      case SchedulerKind::Islip:
+        return std::make_unique<IslipScheduler>(ports,
+                                                islip_iterations);
+      case SchedulerKind::Qps:
+        return std::make_unique<QpsScheduler>(ports, qps_window,
+                                              seed);
+      case SchedulerKind::RandomMaximal:
+        return std::make_unique<RandomMaximalScheduler>(ports, seed);
+    }
+    fatal("unknown scheduler kind");
+}
+
+} // namespace pktbuf::xbar

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Crossbar matching schedulers: per-slot bipartite matchings between
+ * N input ports and N output ports of an input-queued switch.
+ *
+ * The contract every implementation must honor (and that
+ * tests/test_crossbar.cc enforces slot by slot):
+ *
+ *  - conflict-free: at most one input matched to any output and at
+ *    most one output matched to any input;
+ *  - backed: an (input, output) edge may be granted only when the
+ *    input's VOQ for that output is non-empty in the occupancy
+ *    snapshot the scheduler was given;
+ *  - deterministic: a scheduler is a pure function of its own state
+ *    (pointers, RNG, held edges) and the occupancy matrix, so a
+ *    checkpointed run replays bit-for-bit;
+ *  - serializable: save()/load() capture the full decision state.
+ *
+ * Maximality is a quality property, not part of the base contract:
+ * iSLIP converges to a maximal matching given enough iterations, the
+ * QPS and random schedulers finish with an explicit greedy completion
+ * pass.  The differential oracle test compares all of them against a
+ * brute-force maximum matching (Kuhn's algorithm, maximumMatchingSize).
+ */
+
+#ifndef PKTBUF_CROSSBAR_SCHEDULER_HH
+#define PKTBUF_CROSSBAR_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/serialize.hh"
+#include "common/types.hh"
+
+namespace pktbuf::xbar
+{
+
+/**
+ * Start-of-slot VOQ occupancy snapshot: at(i, j) is the number of
+ * cells waiting at input i for output j (the workload's credit).
+ * Square (ports x ports); the matching engine fills it each slot.
+ */
+class Occupancy
+{
+  public:
+    explicit Occupancy(unsigned ports)
+        : ports_(ports),
+          occ_(static_cast<std::size_t>(ports) * ports, 0)
+    {}
+
+    unsigned ports() const { return ports_; }
+
+    std::uint64_t
+    at(unsigned in, unsigned out) const
+    {
+        return occ_[static_cast<std::size_t>(in) * ports_ + out];
+    }
+
+    std::uint64_t &
+    at(unsigned in, unsigned out)
+    {
+        return occ_[static_cast<std::size_t>(in) * ports_ + out];
+    }
+
+    /** Total cells waiting at one input, across all its VOQs. */
+    std::uint64_t
+    rowTotal(unsigned in) const
+    {
+        std::uint64_t t = 0;
+        for (unsigned j = 0; j < ports_; ++j)
+            t += at(in, j);
+        return t;
+    }
+
+    /** True when no VOQ holds any cell. */
+    bool
+    empty() const
+    {
+        for (const auto c : occ_)
+            if (c)
+                return false;
+        return true;
+    }
+
+  private:
+    unsigned ports_;
+    std::vector<std::uint64_t> occ_;
+};
+
+/**
+ * One slot's matching: match[input] = matched output, or
+ * kInvalidQueue when the input is unmatched this slot.
+ */
+using Matching = std::vector<QueueId>;
+
+/** Matched edges in a matching. */
+std::size_t matchingSize(const Matching &m);
+
+/** At most one grant per input and per output, targets in range. */
+bool matchingConflictFree(const Matching &m, unsigned ports);
+
+/** Every granted edge's VOQ is non-empty in `occ`. */
+bool matchingBacked(const Matching &m, const Occupancy &occ);
+
+/**
+ * No unmatched input could still be matched to a free output with a
+ * non-empty VOQ -- i.e. the matching is maximal (no augmenting edge
+ * exists; weaker than maximum).
+ */
+bool matchingMaximal(const Matching &m, const Occupancy &occ);
+
+/**
+ * Brute-force maximum bipartite matching size over the non-empty
+ * VOQ edges (Kuhn's augmenting-path algorithm, O(V * E)).  The
+ * differential oracle for the scheduler tests; intended for small
+ * port counts, not the per-slot hot path.
+ */
+unsigned maximumMatchingSize(const Occupancy &occ);
+
+/** The scheduler families the crossbar can run. */
+enum class SchedulerKind
+{
+    Islip,          //!< iterative request/grant/accept, rotating ptrs
+    Qps,            //!< sliding-window queue-proportional sampling
+    RandomMaximal,  //!< seeded random maximal baseline
+};
+
+/** @return the lower-case token ("islip", "qps", "random"). */
+std::string toString(SchedulerKind k);
+
+/**
+ * Parse a scheduler token.
+ * @param token one of "islip", "qps", "random"
+ * @param out   receives the kind on success
+ * @return false when the token names no scheduler
+ */
+bool parseSchedulerKind(const std::string &token, SchedulerKind &out);
+
+/** Per-slot matching engine interface (see file comment). */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Token naming the instance ("islip4", "qps_w8", "random"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Compute this slot's matching from the occupancy snapshot.
+     * @param occ start-of-slot VOQ depths (ports x ports)
+     * @return a conflict-free matching over non-empty VOQs
+     */
+    virtual Matching schedule(const Occupancy &occ) = 0;
+
+    /** Matching passes the last schedule() call used. */
+    virtual unsigned lastIterations() const = 0;
+
+    /** Checkpoint the full decision state (pointers, RNG, holds). */
+    virtual void save(ser::Writer &w) const = 0;
+    virtual void load(ser::Reader &r) = 0;
+};
+
+/**
+ * iSLIP (McKeown): up to `iterations` request/grant/accept rounds.
+ * Each unmatched output grants the first requesting input at or
+ * after its grant pointer; each unmatched input accepts the first
+ * granting output at or after its accept pointer.  Pointers advance
+ * one past the matched partner *only* for matches made in the first
+ * iteration -- the rule that desynchronizes the pointers and gives
+ * iSLIP its 100% uniform-throughput behavior.  Stops early once an
+ * iteration adds no edge (the matching is then maximal).
+ */
+class IslipScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param ports crossbar radix N
+     * @param iterations matching rounds per slot (>= 1); N rounds
+     *        guarantee convergence to a maximal matching
+     */
+    IslipScheduler(unsigned ports, unsigned iterations);
+
+    std::string name() const override;
+    Matching schedule(const Occupancy &occ) override;
+    unsigned lastIterations() const override { return last_iters_; }
+    void save(ser::Writer &w) const override;
+    void load(ser::Reader &r) override;
+
+    /** Per-output grant pointers (exposed for the pointer tests). */
+    const std::vector<unsigned> &grantPointers() const { return g_; }
+    /** Per-input accept pointers (exposed for the pointer tests). */
+    const std::vector<unsigned> &acceptPointers() const { return a_; }
+
+  private:
+    unsigned ports_;
+    unsigned iterations_;
+    unsigned last_iters_ = 0;
+    std::vector<unsigned> g_;  //!< grant pointer, per output
+    std::vector<unsigned> a_;  //!< accept pointer, per input
+};
+
+/**
+ * Sliding-window queue-proportional sampling.  Each slot:
+ *
+ *  1. hold: an edge accepted in an earlier slot is kept while it is
+ *     younger than `window` slots and its VOQ is still backed --
+ *     amortizing one good sample over several slots;
+ *  2. sample: every unmatched input proposes one output drawn with
+ *     probability proportional to its VOQ depths; each free output
+ *     accepts the deepest proposal (ties to the lowest input);
+ *  3. complete: a greedy pass matches any leftover input to its
+ *     lowest free non-empty output, making the matching maximal.
+ *
+ * lastIterations() reports how many of the three phases added edges.
+ */
+class QpsScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param ports crossbar radix N
+     * @param window max slots an accepted edge may be held (>= 1)
+     * @param seed sampling RNG seed (named per the repo seed rule)
+     */
+    QpsScheduler(unsigned ports, unsigned window, std::uint64_t seed);
+
+    std::string name() const override;
+    Matching schedule(const Occupancy &occ) override;
+    unsigned lastIterations() const override { return last_iters_; }
+    void save(ser::Writer &w) const override;
+    void load(ser::Reader &r) override;
+
+  private:
+    struct Hold
+    {
+        QueueId out = kInvalidQueue;  //!< held output, or invalid
+        std::uint64_t age = 0;        //!< slots the edge was held
+    };
+
+    unsigned ports_;
+    std::uint64_t window_;
+    Rng rng_;
+    unsigned last_iters_ = 0;
+    std::vector<Hold> held_;  //!< per input
+};
+
+/**
+ * Maximal-random baseline: a fresh seeded random input service order
+ * each slot; every input picks uniformly among its non-empty VOQs
+ * whose outputs are still free.  Maximal by construction, with no
+ * state beyond the RNG -- the floor the smarter schedulers must beat.
+ */
+class RandomMaximalScheduler : public Scheduler
+{
+  public:
+    RandomMaximalScheduler(unsigned ports, std::uint64_t seed);
+
+    std::string name() const override { return "random"; }
+    Matching schedule(const Occupancy &occ) override;
+    unsigned lastIterations() const override { return last_iters_; }
+    void save(ser::Writer &w) const override;
+    void load(ser::Reader &r) override;
+
+  private:
+    unsigned ports_;
+    Rng rng_;
+    unsigned last_iters_ = 0;
+};
+
+/**
+ * Instantiate a scheduler.
+ * @param k which family
+ * @param ports crossbar radix
+ * @param islip_iterations iSLIP rounds per slot (ignored otherwise)
+ * @param qps_window QPS hold window in slots (ignored otherwise)
+ * @param seed RNG seed for the randomized schedulers
+ */
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind k,
+                                         unsigned ports,
+                                         unsigned islip_iterations,
+                                         unsigned qps_window,
+                                         std::uint64_t seed);
+
+} // namespace pktbuf::xbar
+
+#endif // PKTBUF_CROSSBAR_SCHEDULER_HH

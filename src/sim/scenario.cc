@@ -61,6 +61,8 @@ Scenario::describe() const
     os << name() << " groups=" << groups << " dram="
        << (dramCells ? std::to_string(dramCells) : "unbounded")
        << " load=" << load << " slots=" << slots << " seed=" << seed;
+    if (rrSlack)
+        os << " rr_slack=" << rrSlack;
     if (!timing.isUniform())
         os << " timing=[" << timing.describe(granRads) << "]";
     return os.str();
@@ -76,6 +78,7 @@ Scenario::bufferConfig() const
     cfg.params = model::BufferParams{phys, granRads, b,
                                      groups * banks_per_group};
     cfg.dramCells = dramCells;
+    cfg.rrSlack = rrSlack;
     cfg.timing = timing;
     if (variant == BufferVariant::CfdsRenaming) {
         cfg.logicalQueues = queues;

@@ -75,6 +75,16 @@ struct Scenario
     /** DRAM capacity in cells; 0 = unbounded.  Renaming legs bound
      *  it so chains actually form. */
     std::uint64_t dramCells = 0;
+    /**
+     * Extra Requests Register entries above the Eq. (1) formula
+     * (buffer::BufferConfig::rrSlack).  The formula assumes
+     * randomized request patterns; legs whose requests are driven by
+     * a work-conserving arbiter (the crossbar layer's VOQs, drained
+     * in consecutive same-queue runs) declare the service
+     * concentration here.  0 -- every legacy leg -- is bit-identical
+     * to before the knob existed.
+     */
+    std::uint64_t rrSlack = 0;
     double load = 1.0;
     std::uint64_t seed = 1;
     std::uint64_t slots = 20000;

@@ -404,10 +404,19 @@ class SubsetRoundRobin : public Workload
 {
   public:
     /**
-     * @param arrival_load probability of an arrival per slot; the
-     *        default 1.0 draws no randomness at all, so legacy users
-     *        replay bit-for-bit.  The switch layer's permutation
-     *        pattern runs its affinity stripes below full load.
+     * @param arrival_load probability of an arrival per slot.
+     *        Boundary semantics are load-bearing for replay: at
+     *        exactly 1.0 (the default) the arrival path consults the
+     *        RNG *zero* times -- the `arrival_load_ < 1.0` guard
+     *        short-circuits before chance() -- so legacy callers of
+     *        the pre-arrival_load constructor keep bit-identical
+     *        streams (their golden outputs depend on it; see
+     *        tests/test_workload.cc SubsetRoundRobinArrivalLoad
+     *        Boundaries).  Any value < 1.0, including 0.0, draws one
+     *        Bernoulli per slot; 0.0 therefore produces no arrivals
+     *        ever while still advancing the RNG.  The switch layer's
+     *        permutation pattern runs its affinity stripes below
+     *        full load.
      */
     SubsetRoundRobin(unsigned queues, std::uint64_t seed,
                      std::vector<QueueId> subset,

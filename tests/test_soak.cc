@@ -74,21 +74,25 @@ TEST(SerializeCodec, RejectsMalformedInput)
         EXPECT_THROW(r.tag("EVIL"), FatalError);
     }
     {
-        // Short read: ask for more than remains.
-        ser::Reader r(bytes.substr(0, 6));
+        // Short read: ask for more than remains.  The Reader holds a
+        // view, so the buffer must outlive it -- keep a named local.
+        const std::string head = bytes.substr(0, 6);
+        ser::Reader r(head);
         r.tag("GOOD");
         EXPECT_THROW(r.u64(), FatalError);
     }
     {
         // Trailing bytes must be an error, not silence.
-        ser::Reader r(bytes + "x");
+        const std::string padded = bytes + "x";
+        ser::Reader r(padded);
         r.tag("GOOD");
         EXPECT_EQ(r.u64(), 7u);
         EXPECT_THROW(r.done(), FatalError);
     }
     {
         // A bool octet above 1 is corruption, not "truthy".
-        ser::Reader r(std::string("\x02", 1));
+        const std::string bad("\x02", 1);
+        ser::Reader r(bad);
         EXPECT_THROW(r.b(), FatalError);
     }
 }

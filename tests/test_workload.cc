@@ -114,6 +114,48 @@ TEST(Workload, SubsetRoundRobinStaysInSubset)
     EXPECT_EQ(seen, (std::set<QueueId>{1, 5, 9}));
 }
 
+TEST(Workload, SubsetRoundRobinArrivalLoadBoundaries)
+{
+    // arrival_load == 1.0 must not consult the RNG on the arrival
+    // path at all, so naming the default explicitly replays the
+    // legacy (pre-arrival_load) constructor bit-for-bit -- request
+    // draws and all.
+    SubsetRoundRobin legacy(8, 21, {2, 4, 6}, 0.5);
+    SubsetRoundRobin full(8, 21, {2, 4, 6}, 0.5,
+                          /*arrival_load=*/1.0);
+    for (Slot t = 0; t < 2000; ++t) {
+        const auto a = legacy.step(t);
+        const auto b = full.step(t);
+        ASSERT_EQ(a.arrival.has_value(), b.arrival.has_value());
+        if (a.arrival) {
+            EXPECT_EQ(a.arrival->queue, b.arrival->queue);
+            EXPECT_EQ(a.arrival->seq, b.arrival->seq);
+        }
+        EXPECT_EQ(a.request, b.request);
+    }
+
+    // At 1.0 every slot carries an arrival, cycling the subset in
+    // declaration order (no thinning, no reordering).
+    SubsetRoundRobin cyc(8, 5, {1, 3}, /*request_load=*/0.0, 1.0);
+    for (Slot t = 0; t < 10; ++t) {
+        const auto s = cyc.step(t);
+        ASSERT_TRUE(s.arrival.has_value());
+        EXPECT_EQ(s.arrival->queue, t % 2 ? 3u : 1u);
+        EXPECT_EQ(s.request, kInvalidQueue);
+    }
+
+    // arrival_load == 0.0 is a per-slot chance(0.0): never true, so
+    // no cell ever arrives and nothing ever becomes requestable --
+    // and none of that counts as a drop.
+    SubsetRoundRobin none(8, 9, {0, 7}, 1.0, 0.0);
+    for (Slot t = 0; t < 500; ++t) {
+        const auto s = none.step(t);
+        EXPECT_FALSE(s.arrival.has_value());
+        EXPECT_EQ(s.request, kInvalidQueue);
+    }
+    EXPECT_EQ(none.drops(), 0u);
+}
+
 TEST(Workload, BurstyProducesRuns)
 {
     BurstyOnOff wl(8, 11, 64, 1.0);
