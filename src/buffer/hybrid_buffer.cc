@@ -304,16 +304,16 @@ HybridBuffer::admitArrival(const Cell &cell)
     QueueId p;
     if (rt_) {
         panic_if(!wouldAdmit(cell.queue),
-                 "arrival not admissible; callers must check",
-                 " wouldAdmit first");
+                 "renamed arrival not admissible; callers must",
+                 " check wouldAdmit first");
         p = rt_->assignArrival(
             cell.queue, [this](unsigned g) { return groupFree(g); });
     } else {
         p = cell.queue;
         panic_if(p >= phys_queues_, "arrival for unknown queue ", p);
         panic_if(!hasRoom(groupOf(p)),
-                 "arrival not admissible; callers must check",
-                 " wouldAdmit first");
+                 "static arrival not admissible; callers must",
+                 " check wouldAdmit first");
     }
     ++committed_[groupOf(p)];
     tail_.push(p, cell);
@@ -441,7 +441,8 @@ HybridBuffer::bypassReplenish(QueueId p)
              " with nothing to replenish");
     auto cells = tail_.extractBypass(p, static_cast<unsigned>(n));
     const unsigned g = groupOf(p);
-    panic_if(committed_[g] < n, "committed accounting underflow");
+    panic_if(committed_[g] < n,
+             "bypass replenish: committed accounting underflow");
     committed_[g] -= n;
     const std::uint64_t seq = replenish_seq_[p]++;
     if (trace)
@@ -503,7 +504,8 @@ HybridBuffer::launchRead(const dss::DramRequest &req, Slot now)
     banks_.startAccess(req.bank, now);
     const unsigned g = groupOf(req.physQueue);
     auto cells = dram_.readBlock(req.physQueue, req.blockOrdinal, g);
-    panic_if(committed_[g] < gran_, "committed accounting underflow");
+    panic_if(committed_[g] < gran_,
+             "DRAM read launch: committed accounting underflow");
     committed_[g] -= gran_;
     // The data arrives when the bank's row cycle ends: B slots for
     // the uniform model, the group's t_RC for slow bank groups.

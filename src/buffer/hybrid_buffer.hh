@@ -77,7 +77,7 @@ class HybridBuffer : public PacketBuffer
      * launches, completions, grants) are logged one line per event.
      * Intended for debugging and for the worked-example tests.
      */
-    std::ostream *trace = nullptr;
+    std::ostream *trace = nullptr;  // ser: config
 
     /** Introspection hooks for white-box tests. */
     const dss::DramScheduler &scheduler() const { return *sched_; }
@@ -147,16 +147,16 @@ class HybridBuffer : public PacketBuffer
                tail_.cellsOf(p) > 0;
     }
 
-    BufferConfig cfg_;
-    bool rads_;
-    unsigned phys_queues_;
-    unsigned gran_;       //!< b
-    unsigned gran_rads_;  //!< B (random access time in slots)
+    BufferConfig cfg_;  // ser: config
+    bool rads_;  // ser: config
+    unsigned phys_queues_;  // ser: config
+    unsigned gran_;       //!< b [ser: config]
+    unsigned gran_rads_;  //!< B (random access time in slots) [ser: config]
     Slot now_ = 0;
 
-    dram::AddressMap map_;
+    dram::AddressMap map_;  // ser: config
     /** Shared with the ORR; must be built before banks_ and orr_. */
-    std::shared_ptr<const dram::DramTiming> timing_;
+    std::shared_ptr<const dram::DramTiming> timing_;  // ser: config
     dram::BankState banks_;
     dram::DramStore dram_;
     sram::TailSram tail_;
@@ -179,7 +179,7 @@ class HybridBuffer : public PacketBuffer
     std::vector<std::uint64_t> replenish_seq_;
     std::vector<std::uint64_t> pending_unlaunched_writes_;
     std::vector<std::uint64_t> committed_;
-    std::uint64_t group_capacity_ = 0;
+    std::uint64_t group_capacity_ = 0;  // ser: config
 
     std::deque<Completion> completions_;
 

@@ -117,7 +117,7 @@ class ShiftRegister
     }
 
   private:
-    T idle_;
+    T idle_;  // ser: config
     std::vector<T> slots_;
     std::size_t head_ = 0;
 };

@@ -16,7 +16,7 @@ lineRateGbps(LineRate rate)
       case LineRate::OC3072:
         return 160.0;
     }
-    panic("unknown line rate");
+    panic("unknown line rate in gbps()");
 }
 
 double
@@ -37,7 +37,7 @@ toString(LineRate rate)
       case LineRate::OC3072:
         return "OC-3072";
     }
-    panic("unknown line rate");
+    panic("unknown line rate in name()");
 }
 
 } // namespace pktbuf

@@ -366,7 +366,8 @@ CrossbarRun::validate(Slot t, const Occupancy &occ,
 void
 CrossbarRun::runTo(std::uint64_t slot)
 {
-    fatal_if(slot < executed_, "cannot run backwards to slot ", slot,
+    fatal_if(slot < executed_,
+             "crossbar run cannot run backwards to slot ", slot,
              " (already at ", executed_, ")");
     fatal_if(slot > cfg_.slots, "slot ", slot,
              " beyond the main phase (", cfg_.slots, " slots)");
@@ -681,7 +682,7 @@ crossbarRecord(const CrossbarConfig &cfg, const CrossbarOutcome &out)
          {"granted", "drops", "mean_delay_slots", "max_delay_slots",
           "head_sram_hw", "rr_hw"}) {
         const sw::PortStatAgg *a = r.agg(name);
-        panic_if(!a, "missing aggregate for ", name);
+        panic_if(!a, "crossbar report: missing aggregate for ", name);
         const std::string n = name;
         rec.set(n + "_min", a->min)
             .set(n + "_max", a->max)

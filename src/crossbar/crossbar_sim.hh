@@ -210,11 +210,11 @@ class CrossbarPortWorkload : public sim::Workload
     void loadExtra(ser::Reader &r) override;
 
   private:
-    DestPlan dest_;
-    double load_;
-    bool self_greedy_;
+    DestPlan dest_;  // ser: config
+    double load_;  // ser: config
+    bool self_greedy_;  // ser: config
     /** Engine-injected grant; consumed (reset) every slot. */
-    QueueId grant_ = kInvalidQueue;
+    QueueId grant_ = kInvalidQueue;  // ser: derived
     /** Incast: cells left in the current victim-directed burst. */
     std::uint64_t burst_remaining_ = 0;
     /**
@@ -224,7 +224,7 @@ class CrossbarPortWorkload : public sim::Workload
      * Transient: rewritten every slot before requestQueue reads it,
      * so it is deliberately not checkpointed.
      */
-    std::uint64_t start_credit_ = 0;
+    std::uint64_t start_credit_ = 0;  // ser: derived
 };
 
 /** Instantiate the workload one input plan calls for. */

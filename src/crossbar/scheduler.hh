@@ -195,9 +195,9 @@ class IslipScheduler : public Scheduler
     const std::vector<unsigned> &acceptPointers() const { return a_; }
 
   private:
-    unsigned ports_;
-    unsigned iterations_;
-    unsigned last_iters_ = 0;
+    unsigned ports_;  // ser: config
+    unsigned iterations_;  // ser: config
+    unsigned last_iters_ = 0;  // ser: derived
     std::vector<unsigned> g_;  //!< grant pointer, per output
     std::vector<unsigned> a_;  //!< accept pointer, per input
 };
@@ -239,10 +239,10 @@ class QpsScheduler : public Scheduler
         std::uint64_t age = 0;        //!< slots the edge was held
     };
 
-    unsigned ports_;
-    std::uint64_t window_;
+    unsigned ports_;  // ser: config
+    std::uint64_t window_;  // ser: config
     Rng rng_;
-    unsigned last_iters_ = 0;
+    unsigned last_iters_ = 0;  // ser: derived
     std::vector<Hold> held_;  //!< per input
 };
 
@@ -264,9 +264,9 @@ class RandomMaximalScheduler : public Scheduler
     void load(ser::Reader &r) override;
 
   private:
-    unsigned ports_;
+    unsigned ports_;  // ser: config
     Rng rng_;
-    unsigned last_iters_ = 0;
+    unsigned last_iters_ = 0;  // ser: derived
 };
 
 /**

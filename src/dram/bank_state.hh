@@ -56,7 +56,7 @@ class BankState
     accessSlotsOf(unsigned bank) const
     {
         panic_if(bank >= busy_until_.size(), "bank ", bank,
-                 " out of range");
+                 " out of range in accessSlotsOf");
         return per_bank_slots_.empty() ? access_slots_
                                        : per_bank_slots_[bank];
     }
@@ -66,7 +66,7 @@ class BankState
     busy(unsigned bank, Slot now) const
     {
         panic_if(bank >= busy_until_.size(), "bank ", bank,
-                 " out of range");
+                 " out of range in busy()");
         return busy_until_[bank] > now;
     }
 
@@ -125,9 +125,9 @@ class BankState
 
   private:
     std::vector<Slot> busy_until_;
-    Slot access_slots_;
+    Slot access_slots_;  // ser: config
     /** Non-empty = heterogeneous per-bank access times. */
-    std::vector<Slot> per_bank_slots_;
+    std::vector<Slot> per_bank_slots_;  // ser: config
     Counter accesses_;
 };
 

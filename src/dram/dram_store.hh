@@ -69,7 +69,8 @@ class DramStore
     {
         panic_if(cells.size() != gran_, "write of ", cells.size(),
                  " cells, granularity is ", gran_);
-        panic_if(group >= group_cells_.size(), "bad group");
+        panic_if(group >= group_cells_.size(),
+                 "bad group on block write");
         auto &qq = q(p);
         panic_if(qq.blocks.count(ordinal),
                  "duplicate block ordinal ", ordinal, " on queue ", p);
@@ -101,7 +102,8 @@ class DramStore
     std::uint64_t
     groupCells(unsigned group) const
     {
-        panic_if(group >= group_cells_.size(), "bad group");
+        panic_if(group >= group_cells_.size(),
+                 "bad group in groupCells");
         return group_cells_[group];
     }
 
@@ -150,8 +152,9 @@ class DramStore
     {
         r.tag("DRAM");
         const auto ng = r.u64();
-        fatal_if(ng != group_cells_.size(), "checkpoint: DRAM has ",
-                 ng, " groups, configured ", group_cells_.size());
+        fatal_if(ng != group_cells_.size(),
+                 "checkpoint: DRAM store has ", ng,
+                 " groups, configured ", group_cells_.size());
         for (auto &g : group_cells_)
             g = r.u64();
         const auto nq = r.u64();
@@ -181,7 +184,7 @@ class DramStore
     q(QueueId p) const
     {
         panic_if(p >= queues_.size(), "physical queue ", p,
-                 " out of range");
+                 " out of range (const accessor)");
         return queues_[p];
     }
 
@@ -193,9 +196,9 @@ class DramStore
         return queues_[p];
     }
 
-    unsigned gran_;
+    unsigned gran_;  // ser: config
     std::vector<std::uint64_t> group_cells_;
-    std::uint64_t group_capacity_;
+    std::uint64_t group_capacity_;  // ser: config
     std::vector<QueueData> queues_;
 };
 

@@ -63,9 +63,11 @@ DramTiming::DramTiming(const TimingConfig &cfg, unsigned banks,
              "refresh window of ", cfg_.refreshBanks,
              " banks exceeds the ", banks, " banks present");
     if (!cfg_.groupTRc.empty()) {
-        fatal_if(banks_per_group == 0, "banks_per_group == 0");
+        fatal_if(banks_per_group == 0,
+                 "per-group tRC config with banks_per_group == 0");
         fatal_if(banks % banks_per_group != 0,
-                 "banks not a multiple of group size");
+                 "per-group tRC config: banks not a multiple of the",
+                 " group size");
         const unsigned groups = banks / banks_per_group;
         fatal_if(cfg_.groupTRc.size() != groups,
                  "groupTRc has ", cfg_.groupTRc.size(),

@@ -153,14 +153,14 @@ class DramScheduler
     }
 
     RequestRegister rr_;
-    OngoingRequests &orr_;
+    OngoingRequests &orr_;  // ser: config
     Counter launches_;
     Counter stalls_;
     /** Indexed by StallCause. */
     std::array<Counter, 3> stall_cause_;
     /** Pre-resolved "dsa.stall.<cause>" registry counters (null
      *  when no registry was given). */
-    std::array<Counter *, 3> registry_stalls_{};
+    std::array<Counter *, 3> registry_stalls_{};  // ser: config
     Sampler queue_delay_;
 };
 

@@ -195,7 +195,7 @@ class OngoingRequests
         }
     }
 
-    std::shared_ptr<const dram::DramTiming> timing_;
+    std::shared_ptr<const dram::DramTiming> timing_;  // ser: config
     std::deque<Entry> entries_;
     Slot read_ok_ = 0;   //!< earliest legal read launch (turnaround)
     Slot write_ok_ = 0;  //!< earliest legal write launch

@@ -181,8 +181,8 @@ class RequestRegister
         return false;
     }
 
-    std::size_t capacity_;
-    bool in_order_per_queue_;
+    std::size_t capacity_;  // ser: config
+    bool in_order_per_queue_;  // ser: config
     std::deque<DramRequest> entries_;
     HighWater high_water_;
     HighWater max_skips_;

@@ -151,16 +151,16 @@ class EcqfMma
     std::int64_t &
     occ(QueueId p)
     {
-        panic_if(p >= occ_.size(), "queue ", p, " out of range");
+        panic_if(p >= occ_.size(), "ECQF: queue ", p, " out of range");
         return occ_[p];
     }
 
     std::vector<std::int64_t> occ_;
     // Scratch counters are epoch-tagged so a scan touches only the
     // queues it actually meets in the lookahead.
-    std::vector<std::int64_t> scratch_;
-    std::vector<std::uint64_t> epoch_;
-    std::uint64_t scan_epoch_ = 0;
+    std::vector<std::int64_t> scratch_;  // ser: derived
+    std::vector<std::uint64_t> epoch_;  // ser: derived
+    std::uint64_t scan_epoch_ = 0;  // ser: derived
 };
 
 } // namespace pktbuf::mma

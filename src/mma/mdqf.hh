@@ -90,7 +90,7 @@ class MdqfMma
     std::int64_t &
     occ(QueueId p)
     {
-        panic_if(p >= occ_.size(), "queue ", p, " out of range");
+        panic_if(p >= occ_.size(), "MDQF: queue ", p, " out of range");
         return occ_[p];
     }
 

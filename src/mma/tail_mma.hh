@@ -64,7 +64,7 @@ class TailMma
     }
 
   private:
-    unsigned queues_;
+    unsigned queues_;  // ser: config
     QueueId next_ = 0;
 };
 

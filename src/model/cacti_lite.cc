@@ -95,7 +95,7 @@ sramArray(std::uint64_t entries, unsigned bitsPerEntry, unsigned ports,
         if (bits / (2ULL * s) < 64)
             break; // further splitting leaves degenerate sub-arrays
     }
-    panic_if(best.accessNs >= 1e30, "sub-array search failed");
+    panic_if(best.accessNs >= 1e30, "SRAM sub-array search failed");
     return best;
 }
 
@@ -143,7 +143,7 @@ camArray(std::uint64_t entries, unsigned tagBits, unsigned dataBits,
         if (data_bits / (2ULL * s) < 64)
             break; // further splitting leaves degenerate sub-arrays
     }
-    panic_if(best.accessNs >= 1e30, "sub-array search failed");
+    panic_if(best.accessNs >= 1e30, "CAM sub-array search failed");
     return best;
 }
 

@@ -337,7 +337,7 @@ class RenamingTable
         return best;
     }
 
-    unsigned groups_;
+    unsigned groups_;  // ser: config
     std::vector<Register> regs_;
     std::vector<std::deque<QueueId>> free_pool_;
     Counter renames_;

@@ -59,9 +59,9 @@ class SimRunner
     void load(ser::Reader &r);
 
   private:
-    buffer::PacketBuffer &buf_;
-    Workload &wl_;
-    bool check_;
+    buffer::PacketBuffer &buf_;  // ser: config
+    Workload &wl_;  // ser: config
+    bool check_;  // ser: config
     /** Admission predicate, built once: constructing a std::function
      *  per slot showed up in the simulator's profile. */
     std::function<bool(QueueId)> admit_;

@@ -200,7 +200,7 @@ class Workload
         panic("uniformRequestable scan overran the credited count");
     }
 
-    unsigned queues_;
+    unsigned queues_;  // ser: config
     Rng rng_;
 
   private:
@@ -262,8 +262,8 @@ class RoundRobinWorstCase : public Workload
     }
 
   private:
-    double load_;
-    std::uint64_t warmup_;
+    double load_;  // ser: config
+    std::uint64_t warmup_;  // ser: config
     QueueId arr_ = 0;
     QueueId req_ = 0;
 };
@@ -303,8 +303,8 @@ class UniformRandom : public Workload
     }
 
   private:
-    double load_;
-    bool unbiased_;
+    double load_;  // ser: config
+    bool unbiased_;  // ser: config
 };
 
 /**
@@ -361,9 +361,9 @@ class BurstyOnOff : public Workload
     }
 
   private:
-    std::uint64_t burst_len_;
-    double load_;
-    bool unbiased_;
+    std::uint64_t burst_len_;  // ser: config
+    double load_;  // ser: config
+    bool unbiased_;  // ser: config
     QueueId hot_ = 0;
     std::uint64_t remaining_ = 0;
 };
@@ -391,8 +391,8 @@ class SingleQueue : public Workload
     }
 
   private:
-    QueueId target_;
-    std::uint64_t lead_;
+    QueueId target_;       // ser: config
+    std::uint64_t lead_;  // ser: config
 };
 
 /**
@@ -464,9 +464,9 @@ class SubsetRoundRobin : public Workload
     }
 
   private:
-    std::vector<QueueId> subset_;
-    double request_load_;
-    double arrival_load_;
+    std::vector<QueueId> subset_;  // ser: config
+    double request_load_;  // ser: config
+    double arrival_load_;  // ser: config
     std::size_t idx_ = 0;
 };
 
@@ -558,8 +558,8 @@ class PermutedDrain : public Workload
         }
     }
 
-    std::uint64_t warmup_;
-    double load_;
+    std::uint64_t warmup_;  // ser: config
+    double load_;  // ser: config
     std::vector<QueueId> perm_;
     unsigned pos_ = 0;
     QueueId arr_ = 0;
@@ -604,7 +604,7 @@ class TraceReplay : public Workload
     }
 
   private:
-    std::vector<Entry> trace_;
+    std::vector<Entry> trace_;  // ser: config
 };
 
 } // namespace pktbuf::sim

@@ -79,7 +79,8 @@ ScenarioRun::ScenarioRun(const sim::Scenario &s, WorkloadFactory factory)
 void
 ScenarioRun::runTo(std::uint64_t slot)
 {
-    fatal_if(slot < executed_, "cannot run backwards to slot ", slot,
+    fatal_if(slot < executed_,
+             "scenario run cannot run backwards to slot ", slot,
              " (already at ", executed_, ")");
     fatal_if(slot > s_.slots, "slot ", slot,
              " beyond the leg's main phase (", s_.slots, " slots)");

@@ -80,7 +80,7 @@ class HeadSram
             qq.blocks.erase(it);
             ++qq.next_consume_seq;
         }
-        panic_if(occupancy_ == 0, "occupancy accounting bug");
+        panic_if(occupancy_ == 0, "h-SRAM occupancy accounting bug");
         --occupancy_;
         return c;
     }
@@ -182,19 +182,21 @@ class HeadSram
     const QueueState &
     q(QueueId p) const
     {
-        panic_if(p >= queues_.size(), "queue ", p, " out of range");
+        panic_if(p >= queues_.size(), "h-SRAM: queue ", p,
+                 " out of range (const accessor)");
         return queues_[p];
     }
 
     QueueState &
     q(QueueId p)
     {
-        panic_if(p >= queues_.size(), "queue ", p, " out of range");
+        panic_if(p >= queues_.size(), "h-SRAM: queue ", p,
+                 " out of range");
         return queues_[p];
     }
 
     std::vector<QueueState> queues_;
-    std::uint64_t capacity_;
+    std::uint64_t capacity_;  // ser: config
     std::uint64_t occupancy_ = 0;
     HighWater high_water_;
 };

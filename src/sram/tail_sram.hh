@@ -177,7 +177,7 @@ class TailSram
             out.push_back(qq.cells.front());
             qq.cells.pop_front();
         }
-        panic_if(occupancy_ < n, "occupancy accounting bug");
+        panic_if(occupancy_ < n, "t-SRAM occupancy accounting bug");
         occupancy_ -= n;
         return out;
     }
@@ -185,19 +185,21 @@ class TailSram
     const QueueState &
     q(QueueId p) const
     {
-        panic_if(p >= queues_.size(), "queue ", p, " out of range");
+        panic_if(p >= queues_.size(), "t-SRAM: queue ", p,
+                 " out of range (const accessor)");
         return queues_[p];
     }
 
     QueueState &
     q(QueueId p)
     {
-        panic_if(p >= queues_.size(), "queue ", p, " out of range");
+        panic_if(p >= queues_.size(), "t-SRAM: queue ", p,
+                 " out of range");
         return queues_[p];
     }
 
     std::vector<QueueState> queues_;
-    std::uint64_t capacity_;
+    std::uint64_t capacity_;  // ser: config
     std::uint64_t occupancy_ = 0;
     HighWater high_water_;
 };

@@ -35,7 +35,7 @@ toJson(const SweepReport &rep, const std::vector<Task> &tasks,
        const EmitMeta &meta)
 {
     panic_if(rep.results.size() != tasks.size(),
-             "report/task list size mismatch");
+             "JSON emit: report/task list size mismatch");
     std::string out;
     out += "{\n";
     out += "  \"schema\": \"pktbuf-sweep-v1\",\n";
@@ -86,7 +86,7 @@ std::string
 toCsv(const SweepReport &rep, const std::vector<Task> &tasks)
 {
     panic_if(rep.results.size() != tasks.size(),
-             "report/task list size mismatch");
+             "CSV emit: report/task list size mismatch");
     // Header: union of field names in first-seen order.  Every
     // record contributes -- including a failed task's diagnostic
     // records, which are emitted as rows below -- so columns and

@@ -46,10 +46,17 @@ class Value
         Str,
     };
 
+    // Implicit construction is the point of this type: result rows
+    // assign bare literals (`row.set("load", 0.92)`) hundreds of
+    // times across the emitters, hence the NOLINTs below.
     Value() = default;
+    // NOLINTNEXTLINE(google-explicit-constructor)
     Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    // NOLINTNEXTLINE(google-explicit-constructor)
     Value(double d) : kind_(Kind::Real), real_(d) {}
+    // NOLINTNEXTLINE(google-explicit-constructor)
     Value(const char *s) : kind_(Kind::Str), str_(s) {}
+    // NOLINTNEXTLINE(google-explicit-constructor)
     Value(std::string s) : kind_(Kind::Str), str_(std::move(s)) {}
 
     /** Any non-bool integral type, mapped by signedness. */
@@ -57,6 +64,7 @@ class Value
               std::enable_if_t<std::is_integral_v<T> &&
                                    !std::is_same_v<T, bool>,
                                int> = 0>
+    // NOLINTNEXTLINE(google-explicit-constructor)
     Value(T v)
     {
         if constexpr (std::is_signed_v<T>) {

@@ -101,7 +101,7 @@ planPorts(const SwitchConfig &cfg)
     fatal_if((cfg.pattern == TrafficPattern::Hotspot ||
               cfg.pattern == TrafficPattern::Incast) &&
                  (cfg.hotFraction <= 0.0 || cfg.hotFraction >= 1.0),
-             "hot fraction ", cfg.hotFraction,
+             "switch hot fraction ", cfg.hotFraction,
              " outside (0, 1) starves one side of the ",
              sw::toString(cfg.pattern), " split");
 
@@ -520,7 +520,7 @@ switchRecord(const SwitchConfig &cfg, const SwitchOutcome &out)
          {"granted", "drops", "mean_delay_slots", "max_delay_slots",
           "head_sram_hw", "rr_hw", "dsa_stalls"}) {
         const PortStatAgg *a = r.agg(name);
-        panic_if(!a, "missing aggregate for ", name);
+        panic_if(!a, "switch report: missing aggregate for ", name);
         const std::string n = name;
         rec.set(n + "_min", a->min)
             .set(n + "_max", a->max)

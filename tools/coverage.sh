@@ -30,8 +30,11 @@ cmake --build "$BUILD_DIR" -j"$JOBS" > /dev/null
 # Stale counters from a previous run would inflate the union.
 find "$BUILD_DIR" -name '*.gcda' -delete
 
+# CTEST_ARGS is a space-separated list by contract; split it into an
+# array so shellcheck-clean quoting still passes multiple arguments.
+read -r -a ctest_extra <<< "${CTEST_ARGS:-}"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" \
-      ${CTEST_ARGS:-}
+      "${ctest_extra[@]}"
 
 pct=$(python3 tools/coverage_percent.py "$BUILD_DIR")
 floor=$(tr -d '[:space:]' < "$FLOOR_FILE")

@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Determinism lint: the bit-identical-output rules, machine-checked.
+
+The repo's headline invariant is that every simulation artifact --
+sweep JSON/CSV, scenario stdout, PKCK checkpoints -- is a pure
+function of the named seeds, for any ``--jobs``.  These rules keep it
+that way:
+
+``det-banned-call`` (everywhere)
+    ``rand()``/``srand()``, ``std::random_device``, every ``<random>``
+    engine, ``drand48``-family, ``arc4random``: nondeterministic or
+    implementation-defined streams.  The project PRNG is ``Rng``
+    (xoshiro256**, explicit seed).
+
+``det-wall-clock`` (src/ only)
+    ``time()``, ``clock()``, ``gettimeofday``, ``localtime``,
+    ``std::chrono::system_clock``: calendar time must never reach
+    simulation state.  ``steady_clock`` is allowed -- it only feeds
+    wall-seconds measurement fields that the perf gate explicitly
+    band-checks instead of byte-compares.
+
+``det-default-seed`` (everywhere)
+    A function parameter named ``*seed*`` with a default argument.
+    The PR-1 rule: every randomized user names its seed at the call
+    site so any failure is replayable from the log alone.
+
+``det-unordered-emit`` (emitter/aggregation paths)
+    Any use of ``std::unordered_map``/``unordered_set`` in files that
+    produce ordered output (src/sweep/, src/common/stats*): iteration
+    order is implementation-defined, which is exactly how byte-
+    identical JSON silently stops being byte-identical.
+
+``det-unordered-iter`` (src/ everywhere)
+    Range-for or ``.begin()`` iteration over a variable declared as an
+    unordered container anywhere in the library: emitters are where
+    the bytes escape, but aggregation upstream of them drifts too.
+
+A finding can be suppressed on its line with ``// det: allow(<rule>)``
+plus a justification; the allowance is per-line and greppable.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from lintlib import (Finding, cxx_files, read_stripped, report,
+                     run_self_test)
+
+TOOL = "check_determinism"
+
+# Paths (relative, prefix-matched) that emit or aggregate ordered
+# output: the strictest rule set applies there.
+EMITTER_PATHS = ("src/sweep/", "src/common/stats")
+
+BANNED_CALLS = [
+    (r"\bsrand\s*\(", "srand()"),
+    (r"(?<![\w:])rand\s*\(\s*\)", "rand()"),
+    (r"\bstd::random_device\b", "std::random_device"),
+    (r"\bstd::mt19937(_64)?\b", "std::mt19937"),
+    (r"\bstd::default_random_engine\b", "std::default_random_engine"),
+    (r"\bstd::minstd_rand0?\b", "std::minstd_rand"),
+    (r"\b[dlm]rand48\s*\(", "*rand48()"),
+    (r"\barc4random\w*\s*\(", "arc4random()"),
+    (r"#\s*include\s*<random>", "#include <random>"),
+]
+
+WALL_CLOCK = [
+    (r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)?\s*\)", "time()"),
+    (r"(?<![\w:])clock\s*\(\s*\)", "clock()"),
+    (r"\bgettimeofday\s*\(", "gettimeofday()"),
+    (r"\b(localtime|gmtime|mktime)\s*\(", "calendar time"),
+    (r"\bstd::chrono::system_clock\b", "std::chrono::system_clock"),
+]
+
+DEFAULT_SEED_RE = re.compile(
+    r"[(,]\s*(?:std::)?(?:uint64_t|uint32_t|unsigned(?:\s+long)?(?:\s+int)?"
+    r"|int|long|size_t|std::size_t)\s+(\w*[sS]eed\w*)\s*=\s*[^,)]+")
+
+UNORDERED_RE = re.compile(r"\bstd::unordered_(map|set|multimap|multiset)\b")
+ALLOW_RE = re.compile(r"\bdet:\s*allow\(([\w-]+)\)")
+
+
+def _allowed(comments: dict[int, str], line: int, rule: str) -> bool:
+    for ln in (line, line - 1):
+        for m in ALLOW_RE.finditer(comments.get(ln, "")):
+            if m.group(1) == rule:
+                return True
+    return False
+
+
+def scan_file(path: str, rel: str) -> list[Finding]:
+    st = read_stripped(path)
+    findings: list[Finding] = []
+    in_src = rel.startswith("src/") or "/src/" in rel
+    in_emitter = any(rel.startswith(p) or p in rel
+                     for p in EMITTER_PATHS)
+
+    def add(offset: int, rule: str, msg: str) -> None:
+        line = st.line_of(offset)
+        if not _allowed(st.comments, line, rule):
+            findings.append(Finding(path, line, rule, msg))
+
+    for pat, what in BANNED_CALLS:
+        for m in re.finditer(pat, st.code):
+            add(m.start(), "det-banned-call",
+                f"{what} is nondeterministic or implementation-defined; "
+                f"use pktbuf::Rng with an explicit seed")
+    if in_src:
+        for pat, what in WALL_CLOCK:
+            for m in re.finditer(pat, st.code):
+                add(m.start(), "det-wall-clock",
+                    f"{what} must not reach simulation state; "
+                    f"steady_clock is allowed for wall-seconds "
+                    f"measurement only")
+
+    for m in DEFAULT_SEED_RE.finditer(st.code):
+        add(m.start(), "det-default-seed",
+            f"parameter '{m.group(1)}' has a default value; the seed "
+            f"rule requires every caller to name its seed explicitly")
+
+    if in_emitter:
+        for m in UNORDERED_RE.finditer(st.code):
+            add(m.start(), "det-unordered-emit",
+                f"std::unordered_{m.group(1)} in an emitter/aggregation "
+                f"path: iteration order is implementation-defined and "
+                f"breaks byte-identical output; use std::map/std::set "
+                f"or a sorted vector")
+    elif in_src:
+        # Track unordered-container variables declared in this file
+        # and flag iteration over them.
+        names = set()
+        for m in re.finditer(
+                UNORDERED_RE.pattern + r"\s*<[^;{]*>\s+(\w+)", st.code):
+            names.add(m.group(2))
+        for name in names:
+            for m in re.finditer(
+                    rf"for\s*\([^;)]*:\s*{re.escape(name)}\b"
+                    rf"|\b{re.escape(name)}\s*[.]\s*(?:c?begin|c?end)"
+                    rf"\s*\(", st.code):
+                add(m.start(), "det-unordered-iter",
+                    f"iteration over unordered container '{name}': "
+                    f"order is implementation-defined; sort keys or "
+                    f"use an ordered container")
+
+    return findings
+
+
+def run(roots: list[str], repo_root: str) -> list[Finding]:
+    findings = []
+    for path in cxx_files(roots):
+        rel = os.path.relpath(path, repo_root)
+        findings.extend(scan_file(path, rel))
+    return findings
+
+
+# ---------------------------------------------------------------- fixtures
+
+CLEAN_FIXTURE = """
+#include "common/random.hh"
+#include <chrono>
+void run(std::uint64_t seed) {
+    pktbuf::Rng rng(seed);
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)t0;
+    (void)rng.next();
+}
+"""
+
+VIOLATION_FIXTURE = """
+#include <random>
+#include <ctime>
+unsigned pick() {
+    std::mt19937 gen(std::random_device{}());
+    srand(time(nullptr));
+    return gen() + rand();
+}
+void sim(unsigned n, std::uint64_t seed = 1234) { (void)n; (void)seed; }
+"""
+
+UNORDERED_FIXTURE = """
+#include <unordered_map>
+#include <string>
+#include <ostream>
+void emit(std::ostream &os) {
+    std::unordered_map<std::string, int> rows;
+    for (const auto &kv : rows)
+        os << kv.first << kv.second;
+}
+"""
+
+ALLOWED_FIXTURE = """
+void stamp() {
+    // det: allow(det-wall-clock) -- nightly soak log header only
+    auto t = time(nullptr);
+    (void)t;
+}
+"""
+
+
+def self_test() -> int:
+    cases = []
+    with tempfile.TemporaryDirectory(prefix="det_lint_") as tmp:
+        src = os.path.join(tmp, "src", "sweep")
+        os.makedirs(src)
+        for desc, text, clean, name in (
+                ("clean fixture", CLEAN_FIXTURE, True, "clean.cc"),
+                ("rand/random_device/default-seed", VIOLATION_FIXTURE,
+                 False, "viol.cc"),
+                ("unordered iteration in emitter", UNORDERED_FIXTURE,
+                 False, "emit.cc"),
+                ("det: allow() suppression", ALLOWED_FIXTURE, True,
+                 "allowed.cc")):
+            path = os.path.join(src, name)
+            with open(path, "w") as f:
+                f.write(text)
+            count = len(run([path], tmp))
+            cases.append((desc, clean, count))
+            os.unlink(path)
+    return run_self_test(TOOL, cases)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*",
+                    help="files/dirs to scan "
+                         "(default: src bench examples tests)")
+    ap.add_argument("--root", default=".",
+                    help="repo root for path-scoped rules")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    roots = args.paths or ["src", "bench", "examples", "tests"]
+    roots = [r for r in roots if os.path.exists(r)]
+    if not roots:
+        print(f"{TOOL}: nothing to scan", file=sys.stderr)
+        return 2
+    return report(run(roots, args.root), TOOL)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

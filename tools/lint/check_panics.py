@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Panic-path lint: every panic/fatal message unique and greppable.
+
+When a soak run dies at 3 a.m., the only artifact is the message.
+This linter guarantees the message finds the code:
+
+``panic-no-literal``
+    A ``panic()``/``fatal()``/``panic_if()``/``fatal_if()`` call whose
+    arguments contain no string literal at all -- nothing to grep.
+
+``panic-too-short``
+    The literal part of the message is under 8 characters ("bad" or
+    "oops" matches half the tree).
+
+``panic-duplicate``
+    Two call sites share the same literal skeleton (the literals
+    joined with a placeholder for interpolated values).  A duplicated
+    message points at N places at once; make each unique.
+
+The scan covers ``src/`` by default: tests may deliberately construct
+odd panics, and the macros themselves live in common/logging.hh
+(skipped by name).
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from lintlib import (Finding, cxx_files, find_matching, read_stripped,
+                     report, run_self_test)
+
+TOOL = "check_panics"
+
+CALL_RE = re.compile(r"\b(panic_if|fatal_if|panic|fatal)\s*\(")
+MIN_LITERAL_CHARS = 8
+
+
+def _split_args(raw: str, stripped: str) -> list[str]:
+    """Split an argument list at top-level commas.
+
+    Comma positions come from the *stripped* view (string literals
+    blanked, so a comma inside a message literal never splits), the
+    returned slices from the raw text (so the literals survive).
+    """
+    cuts = [-1]
+    depth = 0
+    for i, c in enumerate(stripped):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            cuts.append(i)
+    cuts.append(len(raw))
+    return [raw[cuts[k] + 1:cuts[k + 1]] for k in range(len(cuts) - 1)]
+
+
+def _literal_skeleton(args: list[str]) -> tuple[str, int]:
+    """Join the string literals of an argument list into a skeleton.
+
+    Non-literal arguments become ``{}`` placeholders.  Returns the
+    skeleton and the total literal character count.
+    """
+    parts = []
+    total = 0
+    for arg in args:
+        arg = arg.strip()
+        literals = re.findall(r'"((?:[^"\\]|\\.)*)"', arg)
+        if literals:
+            text = "".join(literals)
+            parts.append(text)
+            total += len(text)
+        elif arg:
+            parts.append("{}")
+    return "".join(parts), total
+
+
+def scan_file(path: str) -> list[tuple[str, int, str, str, int]]:
+    """(path, line, macro, skeleton, literal_chars) per call site."""
+    st = read_stripped(path)
+    # The skeleton needs the *raw* literals, so re-extract arguments
+    # from the raw text at offsets found in the stripped view.
+    sites = []
+    for m in CALL_RE.finditer(st.code):
+        # Skip the macro definitions / forwarding helpers themselves.
+        line_start = st.code.rfind("\n", 0, m.start()) + 1
+        line_text = st.raw[line_start:st.raw.find("\n", m.start())]
+        if "#define" in line_text:
+            continue
+        open_paren = m.end() - 1
+        close = find_matching(st.code, open_paren, "(", ")")
+        if close == -1:
+            continue
+        raw_args = st.raw[open_paren + 1:close - 1]
+        stripped_args = st.code[open_paren + 1:close - 1]
+        args = _split_args(raw_args, stripped_args)
+        macro = m.group(1)
+        if macro.endswith("_if"):
+            args = args[1:]  # drop the condition argument
+        skeleton, chars = _literal_skeleton(args)
+        sites.append((path, st.line_of(m.start()), macro, skeleton,
+                      chars))
+    return sites
+
+
+def check(paths: list[str]) -> list[Finding]:
+    findings = []
+    seen: dict[str, tuple[str, int]] = {}
+    for path in paths:
+        if os.path.basename(path) == "logging.hh":
+            continue
+        for p, line, macro, skeleton, chars in scan_file(path):
+            if chars == 0:
+                findings.append(Finding(
+                    p, line, "panic-no-literal",
+                    f"{macro}() message has no string literal; "
+                    f"nothing to grep for when it fires"))
+                continue
+            if chars < MIN_LITERAL_CHARS:
+                findings.append(Finding(
+                    p, line, "panic-too-short",
+                    f"{macro}() literal text {skeleton!r} is under "
+                    f"{MIN_LITERAL_CHARS} chars; make it greppable"))
+            if skeleton in seen:
+                first_path, first_line = seen[skeleton]
+                findings.append(Finding(
+                    p, line, "panic-duplicate",
+                    f"{macro}() message {skeleton!r} duplicates "
+                    f"{first_path}:{first_line}; a fired message must "
+                    f"identify one call site"))
+            else:
+                seen[skeleton] = (p, line)
+    return findings
+
+
+# ---------------------------------------------------------------- fixtures
+
+CLEAN_FIXTURE = """
+#include "common/logging.hh"
+void f(unsigned q, unsigned n) {
+    panic_if(q >= n, "queue ", q, " out of range (", n, " queues)");
+    fatal_if(n == 0, "buffer configured with zero queues");
+}
+"""
+
+DUP_FIXTURE = """
+#include "common/logging.hh"
+void f(unsigned a, unsigned b) {
+    panic_if(a > 4, "value out of range");
+    panic_if(b > 4, "value out of range");
+}
+"""
+
+SHORT_FIXTURE = """
+#include "common/logging.hh"
+void f(bool bad, int x) {
+    panic_if(bad, "bad");
+    fatal_if(x < 0, x);
+}
+"""
+
+
+def self_test() -> int:
+    cases = []
+    with tempfile.TemporaryDirectory(prefix="panic_lint_") as tmp:
+        for desc, text, clean in (
+                ("clean fixture", CLEAN_FIXTURE, True),
+                ("duplicated message", DUP_FIXTURE, False),
+                ("short / literal-free messages", SHORT_FIXTURE,
+                 False)):
+            path = os.path.join(tmp, "fixture.cc")
+            with open(path, "w") as f:
+                f.write(text)
+            cases.append((desc, clean, len(check([path]))))
+    return run_self_test(TOOL, cases)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*",
+                    help="files/dirs to scan (default: src/)")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    paths = cxx_files(args.paths or ["src"])
+    if not paths:
+        print(f"{TOOL}: no C++ sources found", file=sys.stderr)
+        return 2
+    return report(check(paths), TOOL)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
