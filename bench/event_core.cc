@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Event-core vs reference engine throughput: every configuration of
+ * the throughput baseline measured under both execution engines
+ * (BufferConfig::eventCore off and on), plus idle-heavy legs where
+ * the event engine's quiescent-slot skip dominates.  Emits the
+ * BENCH_event_core.json baseline; rows come in reference/event pairs
+ * whose deterministic fields (grants above all) must match exactly --
+ * the bench doubles as a coarse differential check, and the perf
+ * gate's median normalization preserves the event:reference speed
+ * ratio across machines.
+ *
+ * Timing note: wall-clock numbers only make sense with --jobs 1 (the
+ * default here); sharding timing runs across threads measures
+ * contention, not the simulator.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "buffer/hybrid_buffer.hh"
+#include "sim/runner.hh"
+#include "sim/workload.hh"
+
+using namespace pktbuf;
+using namespace pktbuf::buffer;
+using namespace pktbuf::sim;
+
+namespace
+{
+
+enum class Wl
+{
+    Uniform,
+    WorstCase,
+    Idle,  //!< sparse traffic: mostly-quiescent slots
+};
+
+struct Config
+{
+    const char *name;
+    unsigned queues;
+    unsigned granRads;  // B
+    unsigned gran;      // b
+    unsigned banks;     // M
+    Wl wl;
+    bool check;
+};
+
+constexpr Config kConfigs[] = {
+    {"rads_uniform_q8", 8, 8, 8, 1, Wl::Uniform, false},
+    {"rads_uniform_q64", 64, 8, 8, 1, Wl::Uniform, false},
+    {"cfds_uniform_q8", 8, 8, 2, 32, Wl::Uniform, false},
+    {"cfds_uniform_q64", 64, 8, 2, 32, Wl::Uniform, false},
+    {"cfds_worstcase_checked_q8", 8, 8, 2, 32, Wl::WorstCase, true},
+    {"cfds_worstcase_checked_q64", 64, 8, 2, 32, Wl::WorstCase, true},
+    {"rads_worstcase_checked_q64", 64, 8, 8, 1, Wl::WorstCase, true},
+    {"rads_idle_q64", 64, 8, 8, 1, Wl::Idle, false},
+    {"cfds_idle_q64", 64, 8, 2, 32, Wl::Idle, false},
+};
+
+std::unique_ptr<Workload>
+makeWl(const Config &c)
+{
+    switch (c.wl) {
+      case Wl::Uniform:
+        return std::make_unique<UniformRandom>(c.queues, 11, 0.95);
+      case Wl::WorstCase:
+        return std::make_unique<RoundRobinWorstCase>(c.queues, 3, 1.0,
+                                                     64);
+      case Wl::Idle:
+        // 5% load: the line is idle most slots, the regime the
+        // quiescent skip is built for (lightly loaded switch ports).
+        return std::make_unique<UniformRandom>(c.queues, 11, 0.05);
+    }
+    return nullptr;
+}
+
+const char *
+wlName(Wl w)
+{
+    switch (w) {
+      case Wl::Uniform:
+        return "uniform";
+      case Wl::WorstCase:
+        return "worstcase";
+      case Wl::Idle:
+        return "idle";
+    }
+    return "?";
+}
+
+sweep::TaskResult
+measure(const Config &c, bool event_core, std::uint64_t min_slots)
+{
+    BufferConfig cfg;
+    cfg.params = model::BufferParams{c.queues, c.granRads, c.gran,
+                                     c.banks};
+    cfg.eventCore = event_core;
+    HybridBuffer buf(cfg);
+    const auto wl = makeWl(c);
+    SimRunner runner(buf, *wl, c.check);
+
+    // Warm the pipeline and caches out of the measured window.
+    runner.run(4096);
+
+    constexpr std::uint64_t kChunk = 16384;
+    std::uint64_t slots = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (slots < min_slots) {
+        runner.run(kChunk);
+        slots += kChunk;
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    const auto rep = buf.report();
+    const double slots_per_sec = slots / secs;
+    const char *engine = event_core ? "event" : "reference";
+
+    sweep::TaskResult r;
+    char buf2[192];
+    std::snprintf(buf2, sizeof(buf2),
+                  "%-28s %-9s Q=%-3u b=%-2u %-9s chk=%d"
+                  " %10.2f Mslots/s\n",
+                  c.name, engine, c.queues, c.gran, wlName(c.wl),
+                  c.check ? 1 : 0, slots_per_sec / 1e6);
+    r.text = buf2;
+    sweep::Record rec;
+    rec.set("name", std::string(c.name) + "_" + engine)
+        .set("config", c.name)
+        .set("engine", engine)
+        .set("queues", c.queues)
+        .set("B", c.granRads)
+        .set("b", c.gran)
+        .set("banks", c.banks)
+        .set("workload", wlName(c.wl))
+        .set("checker", c.check)
+        .set("slots", slots)
+        .set("seconds", secs)
+        .set("slots_per_sec", slots_per_sec)
+        .set("grants", rep.grants);
+    r.records.push_back(std::move(rec));
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = pktbuf::bench::parseArgs(argc, argv);
+    const std::uint64_t min_slots = opt.smoke ? 1u << 15 : 1u << 21;
+
+    std::vector<sweep::Task> tasks;
+    for (const auto &c : kConfigs) {
+        for (const bool event_core : {false, true}) {
+            tasks.push_back(sweep::Task{
+                std::string(c.name) + "_" +
+                    (event_core ? "event" : "reference"),
+                [&c, event_core,
+                 min_slots](const sweep::SweepContext &) {
+                    return measure(c, event_core, min_slots);
+                },
+            });
+        }
+    }
+
+    std::printf("Event-core vs reference engine throughput (steady"
+                " state, %s budget;\ntiming is wall-clock, run with"
+                " --jobs 1 for comparable numbers).\n\n",
+                opt.smoke ? "smoke" : "full");
+    const auto rep = pktbuf::bench::runAndPrint(tasks, opt);
+
+    // Speedups to stderr: informative, but run-dependent, so they
+    // must never reach the byte-identical stdout/artifact channel.
+    for (std::size_t i = 0; i + 1 < rep.results.size(); i += 2) {
+        const auto &ref = rep.results[i];
+        const auto &evt = rep.results[i + 1];
+        if (!ref.ok || !evt.ok || ref.records.empty() ||
+            evt.records.empty()) {
+            continue;
+        }
+        const auto *rs = ref.records[0].find("seconds");
+        const auto *es = evt.records[0].find("seconds");
+        if (rs && es && es->asReal() > 0.0) {
+            std::fprintf(stderr, "  %-28s event/reference speedup"
+                         " %.2fx\n",
+                         kConfigs[i / 2].name,
+                         rs->asReal() / es->asReal());
+        }
+    }
+
+    sweep::Record meta;
+    meta.set("min_slots", min_slots);
+    return pktbuf::bench::finish("event_core", rep, tasks, opt,
+                                 std::move(meta));
+}

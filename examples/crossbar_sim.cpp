@@ -9,8 +9,8 @@
  *                [--iters N] [--window N] [--variant NAME]
  *                [--load F] [--slots N] [--seed N]
  *                [--hot-outputs K] [--hot-fraction F] [--burst N]
- *                [--victim P] [--smoke] [--list]
- *                [--json PATH] [--csv PATH]
+ *                [--victim P] [--engine reference|event] [--smoke]
+ *                [--list] [--json PATH] [--csv PATH]
  *
  * The fabric is lockstep by construction (the matching couples all
  * inputs each slot), so there is no --jobs knob: one run, one
@@ -43,8 +43,8 @@ usage(const char *prog)
         "          [--iters N] [--window N] [--variant NAME]\n"
         "          [--load F] [--slots N] [--seed N]\n"
         "          [--hot-outputs K] [--hot-fraction F] [--burst N]\n"
-        "          [--victim P] [--smoke] [--list]\n"
-        "          [--json PATH] [--csv PATH]\n"
+        "          [--victim P] [--engine reference|event] [--smoke]\n"
+        "          [--list] [--json PATH] [--csv PATH]\n"
         "  --ports      crossbar radix (default 4)\n"
         "  --pattern    uniform | hotspot | incast | permutation\n"
         "  --scheduler  islip | qps | random\n"
@@ -56,6 +56,8 @@ usage(const char *prog)
         "  --seed       master seed; input i uses splitmix(seed, i)\n"
         "  --hot-outputs / --hot-fraction   hotspot shape\n"
         "  --victim / --burst               incast shape\n"
+        "  --engine     reference (per-slot loop) | event (calendar\n"
+        "               core); identical output either way\n"
         "  --smoke      reduced slots for CI\n"
         "  --list       print the resolved input plans, don't run\n"
         "  --json/--csv  write result records ('-' = stdout)\n",
@@ -138,6 +140,14 @@ main(int argc, char **argv)
                 std::strtoul(next(), nullptr, 0));
         } else if (!std::strcmp(argv[i], "--burst")) {
             cfg.incastBurst = std::strtoull(next(), nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--engine")) {
+            const std::string tok = next();
+            if (tok == "event") {
+                cfg.eventEngine = true;
+            } else if (tok != "reference") {
+                usage(argv[0]);
+                return 2;
+            }
         } else if (!std::strcmp(argv[i], "--smoke")) {
             smoke = true;
         } else if (!std::strcmp(argv[i], "--list")) {

@@ -9,8 +9,9 @@
  *   switch_sim [--ports N] [--pattern NAME] [--variant NAME|mixed]
  *              [--queues Q] [--load F] [--slots N] [--seed N]
  *              [--hot-ports K] [--hot-fraction F] [--burst N]
- *              [--victim P] [--smoke] [--list] [--stats]
- *              [--jobs N] [--json PATH] [--csv PATH]
+ *              [--victim P] [--engine reference|event] [--smoke]
+ *              [--list] [--stats] [--jobs N] [--json PATH]
+ *              [--csv PATH]
  *
  * Ports shard onto the sweep engine's thread pool (--jobs), but
  * stdout and the JSON/CSV artifacts are byte-identical for any
@@ -45,8 +46,9 @@ usage(const char *prog)
         "usage: %s [--ports N] [--pattern NAME] [--variant NAME]\n"
         "          [--queues Q] [--load F] [--slots N] [--seed N]\n"
         "          [--hot-ports K] [--hot-fraction F] [--burst N]\n"
-        "          [--victim P] [--smoke] [--list] [--stats]\n"
-        "          [--jobs N] [--json PATH] [--csv PATH]\n"
+        "          [--victim P] [--engine reference|event] [--smoke]\n"
+        "          [--list] [--stats] [--jobs N] [--json PATH]\n"
+        "          [--csv PATH]\n"
         "  --ports     port count (default 4)\n"
         "  --pattern   uniform | hotspot | incast | permutation\n"
         "  --variant   rads | cfds | renaming | mixed (cycled)\n"
@@ -56,6 +58,8 @@ usage(const char *prog)
         "  --seed      master seed; port p uses splitmix(seed, p)\n"
         "  --hot-ports / --hot-fraction   hotspot shape\n"
         "  --victim / --burst             incast shape\n"
+        "  --engine    reference (per-slot loop) | event (calendar\n"
+        "              core); identical output either way\n"
         "  --smoke     reduced slots for CI\n"
         "  --list      print the resolved port plans, don't run\n"
         "  --stats     dump the namespaced per-port stat registry\n"
@@ -137,6 +141,14 @@ main(int argc, char **argv)
                 std::strtoul(next(), nullptr, 0));
         } else if (!std::strcmp(argv[i], "--burst")) {
             cfg.incastBurst = std::strtoull(next(), nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--engine")) {
+            const std::string tok = next();
+            if (tok == "event") {
+                cfg.eventEngine = true;
+            } else if (tok != "reference") {
+                usage(argv[0]);
+                return 2;
+            }
         } else if (!std::strcmp(argv[i], "--smoke")) {
             smoke = true;
         } else if (!std::strcmp(argv[i], "--list")) {

@@ -221,6 +221,8 @@ resolveGroupCapacity(const BufferConfig &cfg, unsigned groups)
 HybridBuffer::HybridBuffer(const BufferConfig &cfg)
     : cfg_(cfg),
       rads_(cfg.params.isRads()),
+      event_core_(cfg.eventCore),
+      event_skip_(cfg.eventCore && cfg.mma == MmaKind::Ecqf),
       phys_queues_(cfg.params.queues),
       gran_(cfg.params.gran),
       gran_rads_(cfg.params.granRads),
@@ -264,6 +266,12 @@ HybridBuffer::HybridBuffer(const BufferConfig &cfg)
     const auto rr_cap = resolveRrCapacity(cfg_);
     sched_ = std::make_unique<dss::DramScheduler>(rr_cap, orr_, true,
                                                   &stats_);
+
+    // Arm the t-SRAM eligibility bitmap at the tail-MMA threshold in
+    // *both* engines: maintenance is O(1) per mutation and keeping
+    // the derived state engine-agnostic means checkpoints restore
+    // across engines without special cases.
+    tail_.setThreshold(gran_);
 
     if (cfg_.renaming) {
         rt_ = std::make_unique<rename::RenamingTable>(
@@ -352,25 +360,34 @@ HybridBuffer::headMmaDecide(Slot now)
     // premise of the ECQF sizing theorem.
     bool dram_issued = false;
     if (cfg_.mma == MmaKind::Ecqf) {
+        const auto on_critical = [&](QueueId p) -> unsigned {
+            if (trace)
+                *trace << "t" << now << " hmma select q" << p
+                       << "\n";
+            if (dram_.hasBlock(p, next_read_issue_[p])) {
+                if (dram_issued)
+                    return 0;
+                issueReplenish(p, now);
+                dram_issued = true;
+                return gran_;
+            }
+            return bypassReplenish(p);
+        };
+        if (event_core_) {
+            // Event engine: the calendar already knows which queues
+            // are critical and replays them in entry-stamp order,
+            // which equals the scan's register-position order
+            // (entries are stamped monotonically as they enter) --
+            // no O(depth) walk.
+            hmma_.calendarDecide(on_critical);
+            return;
+        }
         // Single pass: every critical queue of the interval is
         // replenished during one walk of the lookahead (the scan
         // credits each replenish into its scratch state), instead of
         // restarting an O(depth) select after every decision.
-        hmma_.scan(
-            look_, [](const PipeEntry &e) { return e.phys; },
-            [&](QueueId p) -> unsigned {
-                if (trace)
-                    *trace << "t" << now << " hmma select q" << p
-                           << "\n";
-                if (dram_.hasBlock(p, next_read_issue_[p])) {
-                    if (dram_issued)
-                        return 0;
-                    issueReplenish(p, now);
-                    dram_issued = true;
-                    return gran_;
-                }
-                return bypassReplenish(p);
-            });
+        hmma_.scan(look_, [](const PipeEntry &e) { return e.phys; },
+                   on_critical);
         return;
     }
     const unsigned iter_bound = 4 * phys_queues_ + 4;
@@ -458,9 +475,19 @@ HybridBuffer::bypassReplenish(QueueId p)
 void
 HybridBuffer::tailMmaDecide(Slot now)
 {
-    const QueueId p = tmma_.select(
-        gran_, [this](QueueId q) { return tail_.unclaimed(q); },
-        [](QueueId) { return true; });
+    // Event engine: the t-SRAM's eligibility bitmap knows which
+    // queues meet the threshold, so the round-robin pick is a word
+    // scan instead of a probe of every queue.  Same threshold, same
+    // cursor update -- the oracle test holds the two paths equal.
+    const QueueId p =
+        event_core_
+            ? tmma_.selectVia([this](QueueId from) {
+                  return tail_.nextEligible(from);
+              })
+            : tmma_.select(
+                  gran_,
+                  [this](QueueId q) { return tail_.unclaimed(q); },
+                  [](QueueId) { return true; });
     if (p == kInvalidQueue)
         return;
     tail_.claim(p, gran_);
@@ -563,6 +590,23 @@ std::optional<GrantInfo>
 HybridBuffer::step(const std::optional<Cell> &arrival, QueueId request)
 {
     const Slot now = now_;
+
+    // Event-engine idle-slot skip: with no arrival, no request, no
+    // in-flight reads, empty pipeline registers, an empty RR and no
+    // threshold-eligible tail queue, every phase below is provably a
+    // no-op (the ECQF scan sees no criticals, the tail MMA finds no
+    // eligible queue, the DSA has nothing to launch, no grant is
+    // due), so only the clock advances.  Gated on ECQF
+    // (event_skip_): MDQF replenishes from occupancy deficit alone
+    // and can legitimately act on such a slot.
+    if (event_skip_ && !arrival && request == kInvalidQueue &&
+        completions_.empty() && look_.occupancy() == 0 &&
+        (!latency_ || latency_->occupancy() == 0) &&
+        sched_->rr().empty() && tail_.eligibleCount() == 0) {
+        ++now_;
+        return std::nullopt;
+    }
+
     processCompletions(now);
     if (arrival)
         admitArrival(*arrival);
@@ -575,6 +619,11 @@ HybridBuffer::step(const std::optional<Cell> &arrival, QueueId request)
                  "request for unknown queue ", request);
     }
     const PipeEntry after_look = look_.shift(in);
+    // Calendar bookkeeping runs in both engines (it is cheap and
+    // keeps every derived structure engine-agnostic, so checkpoints
+    // restore across engines unchanged).
+    if (in.phys != kInvalidQueue)
+        hmma_.onRequestEntering(in.phys);
     if (after_look.phys != kInvalidQueue) {
         hmma_.onRequestLeaving(after_look.phys);
         mdqf_.onRequestLeaving(after_look.phys);
@@ -707,6 +756,14 @@ HybridBuffer::load(ser::Reader &r)
     mdqf_.load(r);
     tmma_.load(r);
     look_.load(r, load_pipe);
+    // Rebuild the ECQF event calendar from the restored lookahead
+    // contents: stamps restart from zero, but only their relative
+    // order matters and head-to-tail replay reproduces it exactly.
+    hmma_.resetCalendar();
+    look_.forEachFromHead([this](const PipeEntry &e) {
+        if (e.phys != kInvalidQueue)
+            hmma_.onRequestEntering(e.phys);
+    });
     const bool has_latency = r.b();
     fatal_if(has_latency != (latency_ != nullptr),
              "checkpoint: latency register presence mismatch");

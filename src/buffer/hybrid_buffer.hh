@@ -45,7 +45,9 @@
 namespace pktbuf::buffer
 {
 
-class HybridBuffer : public PacketBuffer
+/** `final` so a caller holding a concrete reference (the SimRunner
+ *  hot loop) devirtualizes step()/wouldAdmit()/now() entirely. */
+class HybridBuffer final : public PacketBuffer
 {
   public:
     explicit HybridBuffer(const BufferConfig &cfg);
@@ -149,6 +151,14 @@ class HybridBuffer : public PacketBuffer
 
     BufferConfig cfg_;  // ser: config
     bool rads_;  // ser: config
+    /** Event-calendar execution (BufferConfig::eventCore). */
+    bool event_core_;  // ser: config
+    /**
+     * Idle-slot skipping is only sound when the head MMA is
+     * lookahead-driven (ECQF): MDQF replenishes from occupancy
+     * deficit alone and can act on slots with no pending request.
+     */
+    bool event_skip_;  // ser: config
     unsigned phys_queues_;  // ser: config
     unsigned gran_;       //!< b [ser: config]
     unsigned gran_rads_;  //!< B (random access time in slots) [ser: config]

@@ -87,6 +87,17 @@ struct BufferConfig
      */
     bool measureOnly = false;
 
+    /**
+     * Event-calendar execution engine: identical architectural
+     * behavior (grants, drops, stats, checkpoints -- the
+     * differential oracle in tests/test_event_core.cc enforces
+     * bit-equality), computed via the MMA's event calendar and
+     * quiescent idle-slot skipping instead of per-slot scans.  An
+     * execution strategy, not a configuration: deliberately absent
+     * from every describe()/fingerprint.
+     */
+    bool eventCore = false;
+
     unsigned effectiveLogicalQueues() const
     {
         return logicalQueues ? logicalQueues : params.queues;

@@ -34,6 +34,10 @@ class ShiftRegister
     shift(const T &incoming)
     {
         T out = slots_[head_];
+        if (!(out == idle_))
+            --live_;
+        if (!(incoming == idle_))
+            ++live_;
         slots_[head_] = incoming;
         head_ = (head_ + 1) % slots_.size();
         return out;
@@ -65,15 +69,13 @@ class ShiftRegister
             visit(slots_[i]);
     }
 
-    /** Number of non-idle entries currently held. */
+    /** Number of non-idle entries currently held.  O(1): maintained
+     *  incrementally on shift() -- the event engine polls this every
+     *  slot to detect quiescence. */
     std::size_t
     occupancy() const
     {
-        std::size_t n = 0;
-        for (const auto &v : slots_)
-            if (!(v == idle_))
-                ++n;
-        return n;
+        return live_;
     }
 
     /** Reset all stages to the idle value. */
@@ -83,21 +85,33 @@ class ShiftRegister
         for (auto &v : slots_)
             v = idle_;
         head_ = 0;
+        live_ = 0;
     }
 
     /**
      * Checkpoint: depth, head cursor and every stage, each written
      * by the caller-supplied element serializer (the register is
      * element-type-agnostic; the owner knows the wire format).
+     *
+     * Rotation-normalized: stages are written head-first with a
+     * zero cursor, so two registers holding the same logical
+     * contents serialize identically no matter how their storage is
+     * rotated.  (The event engine's idle-slot skip freezes the
+     * cursor while the reference engine rotates it every slot; the
+     * two must still checkpoint byte-for-byte equal.)  Behavior is
+     * rotation-invariant, so loading the normalized form is
+     * indistinguishable from the original.
      */
     template <typename SaveElem>
     void
     save(ser::Writer &w, SaveElem &&save_elem) const
     {
         w.u64(slots_.size());
-        w.u64(head_);
-        for (const auto &v : slots_)
-            save_elem(w, v);
+        w.u64(0);
+        for (std::size_t i = head_; i < slots_.size(); ++i)
+            save_elem(w, slots_[i]);
+        for (std::size_t i = 0; i < head_; ++i)
+            save_elem(w, slots_[i]);
     }
 
     template <typename LoadElem>
@@ -112,14 +126,20 @@ class ShiftRegister
         fatal_if(head >= slots_.size(),
                  "checkpoint: shift register head out of range");
         head_ = static_cast<std::size_t>(head);
-        for (auto &v : slots_)
+        live_ = 0;
+        for (auto &v : slots_) {
             v = load_elem(r);
+            if (!(v == idle_))
+                ++live_;
+        }
     }
 
   private:
     T idle_;  // ser: config
     std::vector<T> slots_;
     std::size_t head_ = 0;
+    /** Count of non-idle stages; rebuilt in load(). */
+    std::size_t live_ = 0;  // ser: derived
 };
 
 } // namespace pktbuf

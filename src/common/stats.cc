@@ -134,6 +134,12 @@ P2Quantile::sample(double v)
                 q_[i] +=
                     s * (q_[j] - q_[i]) / (n_[j] - n_[i]);
             }
+            // Clamp per the P² paper: a marker height may never
+            // cross its neighbours, so the five heights stay
+            // non-decreasing by construction (both branches above
+            // already respect this; the clamp makes it an invariant
+            // rather than a proof obligation on the branches).
+            q_[i] = std::clamp(q_[i], q_[i - 1], q_[i + 1]);
             n_[i] += s;
         }
     }
@@ -180,6 +186,159 @@ P2Quantile::load(ser::Reader &r)
         n_[i] = r.real();
         np_[i] = r.real();
         dn_[i] = r.real();
+    }
+}
+
+P2QuantileSet::P2QuantileSet(std::vector<double> probs)
+    : probs_(std::move(probs))
+{
+    panic_if(probs_.empty(),
+             "P2QuantileSet needs at least one target probability");
+    for (std::size_t i = 0; i < probs_.size(); ++i) {
+        panic_if(probs_[i] <= 0.0 || probs_[i] >= 1.0,
+                 "P2QuantileSet target probability ", probs_[i],
+                 " outside (0, 1)");
+        panic_if(i > 0 && probs_[i] <= probs_[i - 1],
+                 "P2QuantileSet target probabilities must be "
+                 "strictly increasing");
+    }
+    // Marker fractions: 0, then a midpoint and the target for every
+    // probability, then a midpoint to 1, then 1 -- Jain & Chlamtac's
+    // extension to simultaneous quantiles (2k+3 markers).
+    frac_.push_back(0.0);
+    double prev = 0.0;
+    for (const double p : probs_) {
+        frac_.push_back((prev + p) / 2.0);
+        frac_.push_back(p);
+        prev = p;
+    }
+    frac_.push_back((prev + 1.0) / 2.0);
+    frac_.push_back(1.0);
+    q_.assign(markers(), 0.0);
+    n_.assign(markers(), 0.0);
+    np_.assign(markers(), 0.0);
+}
+
+void
+P2QuantileSet::sample(double v)
+{
+    const std::size_t m = markers();
+    if (count_ < m) {
+        // Exact phase: keep the first 2k+3 samples sorted verbatim.
+        std::size_t i = count_;
+        while (i > 0 && q_[i - 1] > v) {
+            q_[i] = q_[i - 1];
+            --i;
+        }
+        q_[i] = v;
+        ++count_;
+        if (count_ == m) {
+            for (std::size_t j = 0; j < m; ++j) {
+                n_[j] = static_cast<double>(j);
+                np_[j] = static_cast<double>(m - 1) * frac_[j];
+            }
+        }
+        return;
+    }
+
+    // Locate the cell the sample falls into, extending the extreme
+    // markers when it lies outside the current span.
+    std::size_t k;
+    if (v < q_[0]) {
+        q_[0] = v;
+        k = 0;
+    } else if (v >= q_[m - 1]) {
+        q_[m - 1] = v;
+        k = m - 2;
+    } else {
+        k = 0;
+        while (k < m - 2 && q_[k + 1] <= v)
+            ++k;
+    }
+    ++count_;
+
+    for (std::size_t i = k + 1; i < m; ++i)
+        n_[i] += 1.0;
+    for (std::size_t i = 0; i < m; ++i)
+        np_[i] += frac_[i];
+
+    // Nudge every interior marker toward its desired position, the
+    // same parabolic-else-linear rule as P2Quantile::sample() -- the
+    // shared sorted heights are what make quantile(p) monotone in p.
+    for (std::size_t i = 1; i + 1 < m; ++i) {
+        const double d = np_[i] - n_[i];
+        if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+            (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+            const double s = d >= 0 ? 1.0 : -1.0;
+            const double qp =
+                q_[i] +
+                s / (n_[i + 1] - n_[i - 1]) *
+                    ((n_[i] - n_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                         (n_[i + 1] - n_[i]) +
+                     (n_[i + 1] - n_[i] - s) * (q_[i] - q_[i - 1]) /
+                         (n_[i] - n_[i - 1]));
+            if (q_[i - 1] < qp && qp < q_[i + 1]) {
+                q_[i] = qp;
+            } else {
+                const std::size_t j = s > 0 ? i + 1 : i - 1;
+                q_[i] += s * (q_[j] - q_[i]) / (n_[j] - n_[i]);
+            }
+            q_[i] = std::clamp(q_[i], q_[i - 1], q_[i + 1]);
+            n_[i] += s;
+        }
+    }
+}
+
+double
+P2QuantileSet::quantile(double p) const
+{
+    std::size_t idx = markers();
+    for (std::size_t i = 0; i < probs_.size(); ++i)
+        if (probs_[i] == p)
+            idx = 2 * i + 2;  // frac_ layout: 0, mid, p1, mid, p2...
+    panic_if(idx >= markers(), "P2QuantileSet::quantile(", p,
+             ") is not a construction-time target");
+    if (count_ == 0)
+        return 0.0;
+    if (count_ <= markers()) {
+        // Exact: q_ still holds the sorted sample prefix.
+        const double rank = p * static_cast<double>(count_ - 1);
+        const auto lo = static_cast<std::size_t>(rank);
+        const double frac = rank - static_cast<double>(lo);
+        if (lo + 1 >= count_)
+            return q_[count_ - 1];
+        return q_[lo] + frac * (q_[lo + 1] - q_[lo]);
+    }
+    return q_[idx];
+}
+
+void
+P2QuantileSet::save(ser::Writer &w) const
+{
+    w.u64(probs_.size());
+    for (const double p : probs_)
+        w.real(p);
+    w.u64(count_);
+    for (std::size_t i = 0; i < markers(); ++i) {
+        w.real(q_[i]);
+        w.real(n_[i]);
+        w.real(np_[i]);
+    }
+}
+
+void
+P2QuantileSet::load(ser::Reader &r)
+{
+    const auto k = r.u64();
+    fatal_if(k != probs_.size(), "checkpoint: P2QuantileSet has ", k,
+             " targets, configured ", probs_.size());
+    for (auto &p : probs_)
+        p = r.real();
+    count_ = r.u64();
+    for (std::size_t i = 0; i < markers(); ++i) {
+        q_[i] = r.real();
+        n_[i] = r.real();
+        np_[i] = r.real();
     }
 }
 

@@ -174,6 +174,15 @@ class Histogram
  * Histogram, it is never clamped to a bucket edge, so tail quantiles
  * (p99 at 256+ ports) keep their resolution.  Deterministic: the
  * estimate is a pure function of the sample sequence.
+ *
+ * The five marker heights are kept non-decreasing by construction
+ * (each adjusted height is clamped between its neighbours, per the
+ * P² paper), so the estimate always lies within [min, max] of the
+ * stream.  Note this guards *one* estimator's internal ordering
+ * only: two independent instances tracking different probabilities
+ * of the same stream may still cross (p99 < p50) because their
+ * marker sets drift independently -- use P2QuantileSet when several
+ * quantiles of one stream must be mutually consistent.
  */
 class P2Quantile
 {
@@ -210,6 +219,59 @@ class P2Quantile
     double n_[5] = {};
     double np_[5] = {};
     double dn_[5] = {};
+};
+
+/**
+ * Joint streaming estimator for several quantiles of one stream: the
+ * multi-quantile extension of the P² algorithm.  One shared,
+ * always-sorted marker array of 2k+3 heights (a midpoint marker
+ * before every target and one after the last) serves all k target
+ * probabilities, so the estimates are mutually consistent by
+ * construction: quantile(p) is non-decreasing in p, which two
+ * independent P2Quantile instances cannot guarantee (their marker
+ * sets drift independently and cross on adversarial streams --
+ * observed at n == 7 on tri-valued inputs).
+ *
+ * Exact for the first 2k+3 samples (kept sorted verbatim and
+ * interpolated at rank p*(n-1)); the marker approximation beyond,
+ * with the same neighbour clamp as P2Quantile.  Deterministic: a
+ * pure function of the sample sequence.
+ */
+class P2QuantileSet
+{
+  public:
+    /** @param probs target probabilities, strictly increasing, each
+     *         in (0, 1).  Fixed for the estimator's lifetime. */
+    explicit P2QuantileSet(std::vector<double> probs);
+
+    void sample(double v);
+
+    /**
+     * Estimate for one construction-time target probability (panics
+     * on any other value).  Non-decreasing in `p`; 0 before any
+     * sample.
+     */
+    double quantile(double p) const;
+
+    std::uint64_t count() const { return count_; }
+
+    void save(ser::Writer &w) const;
+    void load(ser::Reader &r);
+
+  private:
+    std::size_t markers() const { return frac_.size(); }
+
+    std::vector<double> probs_;
+    /** Marker fractions 0, (0+p1)/2, p1, ..., (pk+1)/2, 1; also the
+     *  per-sample desired-position increments (the paper's dn). */
+    std::vector<double> frac_;  // ser: config
+    std::uint64_t count_ = 0;
+    // While count_ < markers(): q_[0..count_) holds the sorted
+    // samples.  After: the marker heights q_, positions n_ and
+    // desired positions np_.
+    std::vector<double> q_;
+    std::vector<double> n_;
+    std::vector<double> np_;
 };
 
 /**

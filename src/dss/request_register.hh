@@ -13,9 +13,8 @@
 #define PKTBUF_DSS_REQUEST_REGISTER_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "common/logging.hh"
@@ -58,7 +57,11 @@ class RequestRegister
      * tracked so tests can check Eq. (2).
      *
      * @param blocked         cause blocking this request now, or
-     *                        nullopt
+     *                        nullopt.  A template parameter (not
+     *                        std::function): this probe runs for
+     *                        every entry on every DSA launch
+     *                        opportunity and the indirect call was
+     *                        measurable in the simulator's profile.
      * @param oldest_blocked  out: the cause blocking the *oldest*
      *                        timing-blocked entry (whose delay
      *                        dominates the latency budget).  A
@@ -67,13 +70,18 @@ class RequestRegister
      *                        blocking, not a timing stall, and is
      *                        never reported here.
      */
+    template <typename BlockedFn,
+              std::enable_if_t<std::is_invocable_r_v<
+                                   std::optional<dram::StallCause>,
+                                   BlockedFn, const DramRequest &>,
+                               int> = 0>
     std::optional<DramRequest>
     selectOldestReady(
-        const std::function<std::optional<dram::StallCause>(
-            const DramRequest &)> &blocked,
+        const BlockedFn &blocked,
         std::optional<dram::StallCause> *oldest_blocked = nullptr)
     {
-        std::vector<QueueId> passed_write_queues;
+        passed_writes_.clear();
+        auto &passed_write_queues = passed_writes_;
         for (std::size_t i = 0; i < entries_.size(); ++i) {
             const bool is_write =
                 entries_[i].kind == DramRequest::Kind::Write;
@@ -104,8 +112,12 @@ class RequestRegister
     }
 
     /** Legacy bank-lock form: `locked(bank)` maps to BankBusy. */
+    template <typename LockedFn,
+              std::enable_if_t<std::is_invocable_r_v<bool, LockedFn,
+                                                     unsigned>,
+                               int> = 0>
     std::optional<DramRequest>
-    selectOldestReady(const std::function<bool(unsigned)> &locked)
+    selectOldestReady(const LockedFn &locked)
     {
         return selectOldestReady(
             [&](const DramRequest &r)
@@ -121,8 +133,9 @@ class RequestRegister
      * used when a pending write is cancelled in favor of an
      * SRAM-to-SRAM bypass.  Returns the squashed request.
      */
+    template <typename Pred>
     std::optional<DramRequest>
-    cancel(const std::function<bool(const DramRequest &)> &pred)
+    cancel(const Pred &pred)
     {
         for (std::size_t i = 0; i < entries_.size(); ++i) {
             if (pred(entries_[i])) {
@@ -142,7 +155,7 @@ class RequestRegister
     std::int64_t maxSkips() const { return max_skips_.max(); }
 
     /** Oldest-first iteration for tests and introspection. */
-    const std::deque<DramRequest> &entries() const { return entries_; }
+    const std::vector<DramRequest> &entries() const { return entries_; }
 
     /** Checkpoint: pending requests oldest-first + watermarks. */
     void
@@ -183,9 +196,16 @@ class RequestRegister
 
     std::size_t capacity_;  // ser: config
     bool in_order_per_queue_;  // ser: config
-    std::deque<DramRequest> entries_;
+    /** Contiguous storage: the oldest-ready scan walks every
+     *  entry on every DSA launch opportunity, and the vector's
+     *  locality beat the deque's chunked layout in the profile
+     *  (mid-erase compaction is small next to that). */
+    std::vector<DramRequest> entries_;
     HighWater high_water_;
     HighWater max_skips_;
+    /** Scratch for selectOldestReady (lives only within one call;
+     *  a member so its allocation is reused across calls). */
+    std::vector<QueueId> passed_writes_;  // ser: derived
 };
 
 } // namespace pktbuf::dss

@@ -10,8 +10,6 @@
 #ifndef PKTBUF_MMA_TAIL_MMA_HH
 #define PKTBUF_MMA_TAIL_MMA_HH
 
-#include <functional>
-
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -29,12 +27,15 @@ class TailMma
      * Pick the next queue (round-robin from the last pick) whose
      * unclaimed t-SRAM occupancy is at least `gran` and which is
      * admissible (e.g. its DRAM group has room).  Returns
-     * kInvalidQueue if none qualifies.
+     * kInvalidQueue if none qualifies.  The predicates are template
+     * parameters (not std::function) -- this runs every granularity
+     * interval and the two indirect calls per probed queue dominated
+     * the tail-MMA's profile.
      */
+    template <typename Unclaimed, typename Admissible>
     QueueId
-    select(unsigned gran,
-           const std::function<std::uint64_t(QueueId)> &unclaimed,
-           const std::function<bool(QueueId)> &admissible)
+    select(unsigned gran, const Unclaimed &unclaimed,
+           const Admissible &admissible)
     {
         for (unsigned i = 0; i < queues_; ++i) {
             const QueueId p = (next_ + i) % queues_;
@@ -44,6 +45,25 @@ class TailMma
             }
         }
         return kInvalidQueue;
+    }
+
+    /**
+     * Event-engine fast path: delegate the threshold scan to a
+     * next-eligible oracle (the t-SRAM's eligibility bitmap) instead
+     * of probing every queue.  `next_eligible(from)` must return the
+     * first queue at or cyclically after `from` meeting the same
+     * threshold select() would test, or kInvalidQueue -- given that,
+     * the pick and the cursor update are identical to select() with
+     * an always-true admissibility predicate.
+     */
+    template <typename NextEligible>
+    QueueId
+    selectVia(const NextEligible &next_eligible)
+    {
+        const QueueId p = next_eligible(next_);
+        if (p != kInvalidQueue)
+            next_ = (p + 1) % queues_;
+        return p;
     }
 
     /** Checkpoint: the round-robin cursor. */

@@ -1,32 +1,46 @@
 #include "runner.hh"
 
+#include "buffer/hybrid_buffer.hh"
+
 namespace pktbuf::sim
 {
 
 SimRunner::SimRunner(buffer::PacketBuffer &buf, Workload &wl,
                      bool check)
-    : buf_(buf), wl_(wl), check_(check),
-      admit_([&buf](QueueId q) { return buf.wouldAdmit(q); }),
-      checker_(wl.queues())
+    : buf_(buf), hb_(dynamic_cast<buffer::HybridBuffer *>(&buf)),
+      wl_(wl), check_(check), checker_(wl.queues())
 {}
 
-RunResult
-SimRunner::run(std::uint64_t slots)
+template <typename Buffer>
+void
+SimRunner::runLoop(std::uint64_t slots, Buffer &buf)
 {
+    // Concrete admission probe: with Buffer = HybridBuffer (final)
+    // both this call and step() devirtualize and inline.
+    const auto admit = [&buf](QueueId q) { return buf.wouldAdmit(q); };
     for (std::uint64_t i = 0; i < slots; ++i) {
-        const Stimulus s = wl_.step(buf_.now(), admit_);
+        const Stimulus s = wl_.step(buf.now(), admit);
         if (s.arrival)
             ++arrivals_;
-        const auto grant = buf_.step(s.arrival, s.request);
+        const auto grant = buf.step(s.arrival, s.request);
         if (grant) {
             if (check_)
                 checker_.onGrant(grant->logicalQueue, grant->cell);
             ++grants_;
-            delay_.sample(static_cast<double>(buf_.now() - 1 -
+            delay_.sample(static_cast<double>(buf.now() - 1 -
                                               grant->cell.arrival));
         }
         ++slots_;
     }
+}
+
+RunResult
+SimRunner::run(std::uint64_t slots)
+{
+    if (hb_)
+        runLoop(slots, *hb_);
+    else
+        runLoop(slots, buf_);
     RunResult r;
     r.slots = slots_;
     r.arrivals = arrivals_;

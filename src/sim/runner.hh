@@ -15,6 +15,11 @@
 #include "sim/golden.hh"
 #include "sim/workload.hh"
 
+namespace pktbuf::buffer
+{
+class HybridBuffer;
+}
+
 namespace pktbuf::sim
 {
 
@@ -39,7 +44,12 @@ class SimRunner
     SimRunner(buffer::PacketBuffer &buf, Workload &wl,
               bool check = true);
 
-    /** Advance `slots` slots (cumulative across calls). */
+    /**
+     * Advance `slots` slots (cumulative across calls).  When the
+     * buffer is the concrete HybridBuffer the loop runs through a
+     * devirtualized instantiation (step, wouldAdmit and the workload
+     * admission probe all inline); behavior is identical either way.
+     */
     RunResult run(std::uint64_t slots);
 
     const GoldenChecker &checker() const { return checker_; }
@@ -59,12 +69,15 @@ class SimRunner
     void load(ser::Reader &r);
 
   private:
+    template <typename Buffer>
+    void runLoop(std::uint64_t slots, Buffer &buf);
+
     buffer::PacketBuffer &buf_;  // ser: config
+    /** Non-null when buf_ is the concrete HybridBuffer; selects the
+     *  devirtualized loop instantiation. */
+    buffer::HybridBuffer *hb_;  // ser: config
     Workload &wl_;  // ser: config
     bool check_;  // ser: config
-    /** Admission predicate, built once: constructing a std::function
-     *  per slot showed up in the simulator's profile. */
-    std::function<bool(QueueId)> admit_;
     GoldenChecker checker_;
     Sampler delay_;
     std::uint64_t arrivals_ = 0;

@@ -80,6 +80,7 @@ Scenario::bufferConfig() const
     cfg.dramCells = dramCells;
     cfg.rrSlack = rrSlack;
     cfg.timing = timing;
+    cfg.eventCore = eventEngine;
     if (variant == BufferVariant::CfdsRenaming) {
         cfg.logicalQueues = queues;
         cfg.renaming = true;

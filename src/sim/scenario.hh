@@ -111,6 +111,16 @@ struct Scenario
      *  scan; only the timing legs opt in, so legacy outputs are
      *  unchanged. */
     bool unbiasedRequests = false;
+    /**
+     * Execution engine (buffer::BufferConfig::eventCore): true runs
+     * the event-calendar core, false the reference per-slot loop.
+     * An execution strategy, not part of the experiment, so it is
+     * deliberately absent from name() and describe(): sweep records
+     * and checkpoint fingerprints must stay engine-agnostic -- the
+     * differential oracle (tests/test_event_core.cc) and the
+     * byte-identity of the committed sweep baselines depend on it.
+     */
+    bool eventEngine = false;
 
     /**
      * Unique, gtest-name-safe identifier of the leg

@@ -50,19 +50,27 @@ class Workload
 
     virtual ~Workload() = default;
 
-    /**
-     * Produce this slot's stimulus.  If `admit` is provided and
-     * rejects the arrival's queue, the cell is dropped *before* it
-     * exists (counted in drops()) -- modeling ingress admission
-     * control / loss.
-     */
+    /** Produce this slot's stimulus with every arrival admitted. */
     Stimulus
-    step(Slot now,
-         const std::function<bool(QueueId)> &admit = {})
+    step(Slot now)
+    {
+        return step(now, [](QueueId) { return true; });
+    }
+
+    /**
+     * Produce this slot's stimulus.  If `admit` rejects the
+     * arrival's queue, the cell is dropped *before* it exists
+     * (counted in drops()) -- modeling ingress admission control /
+     * loss.  The predicate is a template parameter so the per-slot
+     * hot loops pay no std::function indirection.
+     */
+    template <typename AdmitFn>
+    Stimulus
+    step(Slot now, const AdmitFn &admit)
     {
         Stimulus s;
         const QueueId aq = arrivalQueue(now);
-        if (aq != kInvalidQueue && admit && !admit(aq)) {
+        if (aq != kInvalidQueue && !admit(aq)) {
             ++drops_;
         } else if (aq != kInvalidQueue) {
             Cell c;

@@ -11,6 +11,8 @@
 #ifndef PKTBUF_SRAM_TAIL_SRAM_HH
 #define PKTBUF_SRAM_TAIL_SRAM_HH
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -27,8 +29,50 @@ class TailSram
   public:
     /** @param capacity_cells 0 = unbounded (measurement mode). */
     TailSram(unsigned phys_queues, std::uint64_t capacity_cells)
-        : queues_(phys_queues), capacity_(capacity_cells)
+        : queues_(phys_queues), capacity_(capacity_cells),
+          elig_((phys_queues + 63) / 64, 0)
     {}
+
+    /**
+     * Arm the eligibility tracker: a queue is *eligible* while its
+     * unclaimed cell count is at least `gran` (the t-MMA's write
+     * threshold).  The bitmap turns the event engine's tail-MMA
+     * round-robin and quiescence checks into O(1)/O(words) bit
+     * scans.  0 (the default) disarms the tracker.
+     */
+    void
+    setThreshold(unsigned gran)
+    {
+        threshold_ = gran;
+        std::fill(elig_.begin(), elig_.end(), 0);
+        eligible_ = 0;
+        for (QueueId p = 0; p < queues_.size(); ++p)
+            refreshEligible(p);
+    }
+
+    /** Queues currently at or above the write threshold. */
+    std::size_t eligibleCount() const { return eligible_; }
+
+    /**
+     * First eligible queue at or cyclically after `from`, or
+     * kInvalidQueue when none.  Requires an armed threshold.
+     */
+    QueueId
+    nextEligible(QueueId from) const
+    {
+        if (eligible_ == 0)
+            return kInvalidQueue;
+        std::size_t w = from / 64;
+        std::uint64_t word = elig_[w] & (~0ull << (from % 64));
+        for (std::size_t i = 0; i <= elig_.size(); ++i) {
+            if (word)
+                return static_cast<QueueId>(
+                    w * 64 + std::countr_zero(word));
+            w = (w + 1) % elig_.size();
+            word = elig_[w];
+        }
+        return kInvalidQueue;  // unreachable while eligible_ > 0
+    }
 
     /** Cell arrival from the line. */
     void
@@ -41,6 +85,7 @@ class TailSram
         panic_if(capacity_ && occupancy_ > capacity_,
                  "t-SRAM overflow: ", occupancy_, " cells > capacity ",
                  capacity_, " -- dimensioning violated");
+        refreshEligible(p);
     }
 
     /** Cells of p not yet claimed by a pending DRAM write. */
@@ -71,6 +116,7 @@ class TailSram
                  " cells of queue ", p, " with only ", unclaimed(p),
                  " unclaimed");
         qq.claimed += gran;
+        refreshEligible(p);
     }
 
     /** Undo one pending claim (write squashed in favor of bypass). */
@@ -80,6 +126,7 @@ class TailSram
         auto &qq = q(p);
         panic_if(qq.claimed < gran, "unclaim underflow on queue ", p);
         qq.claimed -= gran;
+        refreshEligible(p);
     }
 
     /** Remove the oldest `gran` (claimed) cells: the write launches. */
@@ -90,6 +137,7 @@ class TailSram
         panic_if(qq.claimed < gran, "extracting unclaimed cells");
         std::vector<Cell> out = take(qq, gran);
         qq.claimed -= gran;
+        refreshEligible(p);
         return out;
     }
 
@@ -107,7 +155,9 @@ class TailSram
                  " claimed cells ahead on queue ", p);
         const auto n = std::min<std::uint64_t>(max_cells,
                                                qq.cells.size());
-        return take(qq, static_cast<unsigned>(n));
+        std::vector<Cell> out = take(qq, static_cast<unsigned>(n));
+        refreshEligible(p);
+        return out;
     }
 
     std::uint64_t occupancy() const { return occupancy_; }
@@ -158,6 +208,9 @@ class TailSram
         }
         occupancy_ = r.u64();
         high_water_.load(r);
+        // Rebuild the derived eligibility view for the armed
+        // threshold (a no-op while disarmed).
+        setThreshold(threshold_);
     }
 
   private:
@@ -166,6 +219,24 @@ class TailSram
         std::deque<Cell> cells;
         std::uint64_t claimed = 0;
     };
+
+    /** Re-derive p's bit in the eligibility bitmap (O(1)). */
+    void
+    refreshEligible(QueueId p)
+    {
+        if (threshold_ == 0)
+            return;
+        const bool e = unclaimed(p) >= threshold_;
+        std::uint64_t &word = elig_[p / 64];
+        const std::uint64_t bit = 1ull << (p % 64);
+        if (e == ((word & bit) != 0))
+            return;
+        word ^= bit;
+        if (e)
+            ++eligible_;
+        else
+            --eligible_;
+    }
 
     std::vector<Cell>
     take(QueueState &qq, unsigned n)
@@ -202,6 +273,11 @@ class TailSram
     std::uint64_t capacity_;  // ser: config
     std::uint64_t occupancy_ = 0;
     HighWater high_water_;
+    /** Write threshold the eligibility bitmap is armed with. */
+    unsigned threshold_ = 0;  // ser: config
+    /** One bit per queue: unclaimed(p) >= threshold_. */
+    std::vector<std::uint64_t> elig_;  // ser: derived
+    std::size_t eligible_ = 0;  // ser: derived
 };
 
 } // namespace pktbuf::sram

@@ -156,6 +156,7 @@ planPorts(const SwitchConfig &cfg)
             s.timing = cfg.timing;
         s.slots = cfg.slots;
         s.seed = sweep::deriveSeed(cfg.masterSeed, p);
+        s.eventEngine = cfg.eventEngine;
 
         double L = cfg.load;
         switch (cfg.pattern) {
@@ -272,21 +273,19 @@ aggregateStat(const std::vector<double> &per_port)
     a.min = s.min();
     a.max = s.max();
     a.mean = s.mean();
-    // Percentiles via the streaming P^2 estimators: exact (linear
-    // interpolation at rank p*(n-1)) for up to five ports, marker
-    // approximation beyond -- no bucket width to misjudge and no
-    // bucket-upper-bound bias, unlike the fixed-width Histogram this
-    // replaces.  Estimates never leave [min, max] by construction.
-    P2Quantile p50(0.50);
-    P2Quantile p99(0.99);
-    for (const double v : per_port) {
-        p50.sample(v);
-        p99.sample(v);
-    }
-    a.p50 = p50.quantile();
-    // Two independent marker sets can cross on adversarial inputs;
-    // quantile monotonicity is worth keeping for the report.
-    a.p99 = std::max(p99.quantile(), a.p50);
+    // Percentiles via the joint streaming P^2 estimator: exact
+    // (linear interpolation at rank p*(n-1)) for up to seven ports,
+    // marker approximation beyond -- no bucket width to misjudge and
+    // no bucket-upper-bound bias, unlike the fixed-width Histogram
+    // this replaced.  One shared sorted marker array serves both
+    // targets, so p99 >= p50 holds by construction (two independent
+    // P2Quantile instances crossed on adversarial inputs and needed
+    // a flooring band-aid here).
+    P2QuantileSet pq({0.50, 0.99});
+    for (const double v : per_port)
+        pq.sample(v);
+    a.p50 = pq.quantile(0.50);
+    a.p99 = pq.quantile(0.99);
     return a;
 }
 

@@ -90,6 +90,15 @@ struct SwitchConfig
      */
     dram::TimingConfig timing;
 
+    /**
+     * Run every port on the event-calendar engine instead of the
+     * per-slot reference loop.  Pure execution strategy: plumbed
+     * into each port's sim::Scenario::eventEngine and, like it,
+     * excluded from name()/describe() so artifacts and checkpoint
+     * fingerprints stay byte-identical across engines.
+     */
+    bool eventEngine = false;
+
     /** Hard cap on any resolved per-port load. */
     static constexpr double kMaxPortLoad = 0.9;
 
@@ -170,16 +179,18 @@ struct PortStatAgg
     double min = 0.0;
     double max = 0.0;
     double mean = 0.0;
-    double p50 = 0.0;  //!< via P2Quantile(0.5)
-    double p99 = 0.0;  //!< via P2Quantile(0.99), floored at p50
+    double p50 = 0.0;  //!< via P2QuantileSet({0.5, 0.99})
+    double p99 = 0.0;  //!< same estimator; >= p50 by construction
 };
 
 /**
- * Aggregate one per-port stat vector.  Percentiles come from the
- * streaming P^2 estimators (common/stats.hh): exact linear
- * interpolation at rank p*(n-1) for up to five ports, the 5-marker
- * approximation beyond, always within [min, max].  Deterministic for
- * a given input order, O(1) memory in the port count.
+ * Aggregate one per-port stat vector.  Percentiles come from one
+ * joint streaming P^2 estimator (P2QuantileSet, common/stats.hh):
+ * exact linear interpolation at rank p*(n-1) for up to seven ports,
+ * the shared 7-marker approximation beyond, always within
+ * [min, max] and with p99 >= p50 guaranteed by the shared sorted
+ * marker array.  Deterministic for a given input order, O(1) memory
+ * in the port count.
  */
 PortStatAgg aggregateStat(const std::vector<double> &per_port);
 

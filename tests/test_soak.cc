@@ -193,6 +193,124 @@ TEST(P2Quantile, MemoryStaysConstantAndRoundTrips)
     EXPECT_EQ(a.quantile(), b.quantile());
 }
 
+// ------------------------------------------- joint P^2 estimator
+
+/**
+ * Regression (stats-correctness sweep): *independent* P^2 estimators
+ * can cross each other -- on the pinned alternating stream {0, 0.5,
+ * 0, 0.5, ...} the standalone p50 exceeds the standalone p99 at
+ * n == 7 -- which is the defect the old SwitchReport flooring hack
+ * papered over.  The joint P2QuantileSet shares one sorted marker
+ * vector, so its quantiles are ordered by construction; the hack is
+ * gone.
+ */
+TEST(P2QuantileSet, PinnedCrossingStreamStaysOrdered)
+{
+    P2Quantile lone50(0.5);
+    P2Quantile lone99(0.99);
+    P2QuantileSet joint({0.5, 0.99});
+    bool lone_crossed = false;
+    for (int n = 1; n <= 50; ++n) {
+        const double v = ((n - 1) % 2) * 0.5;
+        lone50.sample(v);
+        lone99.sample(v);
+        joint.sample(v);
+        if (lone99.quantile() < lone50.quantile())
+            lone_crossed = true;
+        EXPECT_GE(joint.quantile(0.99), joint.quantile(0.5))
+            << "n=" << n;
+    }
+    // The defect is real: the independent estimators do cross on
+    // this stream (first at n == 7).
+    EXPECT_TRUE(lone_crossed);
+}
+
+TEST(P2QuantileSet, ExactForSevenOrFewerSamples)
+{
+    // 2k+3 = 7 markers for two targets: the estimator holds every
+    // sample until the marker count is exceeded, so small-n results
+    // are the exact order statistics.
+    const std::vector<double> data = {4.0, 1.0, 3.0, 2.0,
+                                      7.0, 5.0, 6.0};
+    for (std::size_t n = 1; n <= data.size(); ++n) {
+        const std::vector<double> prefix(data.begin(),
+                                         data.begin() + n);
+        P2QuantileSet q({0.5, 0.99});
+        for (const double v : prefix)
+            q.sample(v);
+        EXPECT_DOUBLE_EQ(q.quantile(0.5),
+                         exactQuantile(prefix, 0.5))
+            << "n=" << n;
+        EXPECT_DOUBLE_EQ(q.quantile(0.99),
+                         exactQuantile(prefix, 0.99))
+            << "n=" << n;
+    }
+}
+
+TEST(P2QuantileSet, OrderedAndCloseOnAdversarialStreams)
+{
+    // Duplicate-heavy and monotone streams are the classic P^2
+    // stress cases (marker positions saturate); the joint estimator
+    // must stay ordered everywhere and track the exact percentile.
+    const auto run = [](const std::vector<double> &stream,
+                        double tol50, double tol99) {
+        P2QuantileSet q({0.5, 0.99});
+        std::vector<double> seen;
+        for (const double v : stream) {
+            q.sample(v);
+            seen.push_back(v);
+            ASSERT_GE(q.quantile(0.99), q.quantile(0.5))
+                << "after " << seen.size() << " samples";
+        }
+        EXPECT_NEAR(q.quantile(0.5), exactQuantile(seen, 0.5),
+                    tol50);
+        EXPECT_NEAR(q.quantile(0.99), exactQuantile(seen, 0.99),
+                    tol99);
+    };
+
+    // 90% duplicates of one value, 10% outliers.
+    std::vector<double> dup;
+    Rng rng(13);
+    for (int i = 0; i < 5000; ++i)
+        dup.push_back(rng.below(10) == 0
+                          ? 100.0 + double(rng.below(100))
+                          : 7.0);
+    run(dup, 1.0, 60.0);
+
+    // Monotone ascending and descending.
+    std::vector<double> asc, desc;
+    for (int i = 0; i < 5000; ++i) {
+        asc.push_back(double(i));
+        desc.push_back(double(5000 - i));
+    }
+    run(asc, 100.0, 100.0);
+    run(desc, 100.0, 100.0);
+}
+
+TEST(P2QuantileSet, RoundTripsMidStream)
+{
+    P2QuantileSet a({0.5, 0.99});
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        a.sample(static_cast<double>(rng.below(1 << 16)));
+
+    ser::Writer w;
+    a.save(w);
+    P2QuantileSet b({0.5, 0.99});
+    ser::Reader r(w.bytes());
+    b.load(r);
+    r.done();
+
+    EXPECT_EQ(a.count(), b.count());
+    for (int i = 0; i < 10000; ++i) {
+        const double v = static_cast<double>(rng.below(1 << 16));
+        a.sample(v);
+        b.sample(v);
+    }
+    EXPECT_EQ(a.quantile(0.5), b.quantile(0.5));
+    EXPECT_EQ(a.quantile(0.99), b.quantile(0.99));
+}
+
 TEST(AggregateStat, MatchesExactPercentiles)
 {
     // <= 5 ports: the aggregation is exact by construction.
