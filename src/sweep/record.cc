@@ -109,9 +109,12 @@ Value::asReal(double fallback) const
         return static_cast<double>(int_);
       case Kind::UInt:
         return static_cast<double>(uint_);
-      default:
+      case Kind::Null:
+      case Kind::Bool:
+      case Kind::Str:
         return fallback;
     }
+    return fallback;
 }
 
 bool

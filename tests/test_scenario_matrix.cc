@@ -33,8 +33,8 @@ TEST_P(ScenarioMatrix, EveryGrantMatchesGoldenModel)
 
 INSTANTIATE_TEST_SUITE_P(
     Full, ScenarioMatrix, ::testing::ValuesIn(defaultMatrix()),
-    [](const ::testing::TestParamInfo<Scenario> &info) {
-        return info.param.name();
+    [](const ::testing::TestParamInfo<Scenario> &pinfo) {
+        return pinfo.param.name();
     });
 
 // The timed-DRAM legs (refresh storm, turnaround thrash, asymmetric
@@ -44,8 +44,8 @@ INSTANTIATE_TEST_SUITE_P(
 // timing policy refuses.
 INSTANTIATE_TEST_SUITE_P(
     Timing, ScenarioMatrix, ::testing::ValuesIn(timingMatrix()),
-    [](const ::testing::TestParamInfo<Scenario> &info) {
-        return info.param.name();
+    [](const ::testing::TestParamInfo<Scenario> &pinfo) {
+        return pinfo.param.name();
     });
 
 TEST(ScenarioMatrixShape, CoversRequiredVariantsAndWorkloads)

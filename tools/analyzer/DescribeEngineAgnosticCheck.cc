@@ -1,0 +1,49 @@
+//===--- DescribeEngineAgnosticCheck.cc - pktbuf-describe-engine-agnostic ===//
+
+#include "DescribeEngineAgnosticCheck.hh"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::pktbuf
+{
+
+void
+DescribeEngineAgnosticCheck::registerMatchers(MatchFinder *Finder)
+{
+    // Engine-selector declarations by name, in any spelling the
+    // codebase uses (eventCore, eventEngine, event_core, ...).
+    const auto EngineDecl =
+        namedDecl(matchesName(".*[eE]vent_?([cC]ore|[eE]ngine).*"));
+    const auto InNameOrDescribe =
+        forFunction(functionDecl(hasAnyName("name", "describe"))
+                        .bind("fn"));
+
+    Finder->addMatcher(memberExpr(member(EngineDecl), InNameOrDescribe,
+                                  unless(isExpansionInSystemHeader()))
+                           .bind("use"),
+                       this);
+    Finder->addMatcher(declRefExpr(to(EngineDecl), InNameOrDescribe,
+                                   unless(isExpansionInSystemHeader()))
+                           .bind("use"),
+                       this);
+}
+
+void
+DescribeEngineAgnosticCheck::check(const MatchFinder::MatchResult &Result)
+{
+    const auto *Use = Result.Nodes.getNodeAs<Expr>("use");
+    const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+    if (Use == nullptr || Fn == nullptr)
+        return;
+    diag(Use->getBeginLoc(),
+         "engine-selector value flows into %0(): names, artifacts and "
+         "checkpoint fingerprints must be engine-agnostic (the PR-9 "
+         "differential-oracle contract); derive presentation from the "
+         "experiment parameters only")
+        << Fn;
+}
+
+} // namespace clang::tidy::pktbuf

@@ -1,0 +1,38 @@
+//===--- DescribeEngineAgnosticCheck.hh - pktbuf-describe-engine-agnostic ===//
+//
+// The PR-9 fingerprint contract: leg names, sweep artifacts and
+// checkpoint fingerprints derive from name()/describe(), and the
+// execution engine (eventCore / eventEngine) is a strategy, not part
+// of the experiment -- so no engine-selector value may flow into a
+// name() or describe() body.  A violation silently forks artifact
+// bytes and checkpoint fingerprints between engines, which the
+// differential oracle can only catch after the fact.
+//
+// Enforced shape: no reference to a declaration whose name matches
+// event{Core,Engine} (any casing/underscore spelling) inside a
+// function named `name` or `describe`.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PKTBUF_TOOLS_ANALYZER_DESCRIBE_ENGINE_AGNOSTIC_CHECK_HH
+#define PKTBUF_TOOLS_ANALYZER_DESCRIBE_ENGINE_AGNOSTIC_CHECK_HH
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::pktbuf
+{
+
+class DescribeEngineAgnosticCheck : public ClangTidyCheck
+{
+  public:
+    DescribeEngineAgnosticCheck(StringRef Name, ClangTidyContext *Context)
+        : ClangTidyCheck(Name, Context)
+    {}
+
+    void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+    void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::pktbuf
+
+#endif // PKTBUF_TOOLS_ANALYZER_DESCRIBE_ENGINE_AGNOSTIC_CHECK_HH

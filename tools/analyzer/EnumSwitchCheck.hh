@@ -1,0 +1,42 @@
+//===--- EnumSwitchCheck.hh - pktbuf-enum-switch -------------------------===//
+//
+// Switches over the project's mode enums (StallCause, scheduler /
+// pattern / engine selectors, ...) must be exhaustive -- every
+// enumerator listed as a case -- and must not carry a default label:
+// a default swallows enumerators added later, silencing the
+// -Wswitch-enum wall that is supposed to break the build at every
+// switch the new mode must teach.
+//
+// The enum list is configurable (CheckOption pktbuf-enum-switch.
+// EnumNames, a semicolon-separated list of fully qualified names).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PKTBUF_TOOLS_ANALYZER_ENUM_SWITCH_CHECK_HH
+#define PKTBUF_TOOLS_ANALYZER_ENUM_SWITCH_CHECK_HH
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::pktbuf
+{
+
+class EnumSwitchCheck : public ClangTidyCheck
+{
+  public:
+    EnumSwitchCheck(StringRef Name, ClangTidyContext *Context);
+
+    void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+    void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+    void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+  private:
+    const std::string rawEnumNames_;
+    std::vector<std::string> enumNames_;
+};
+
+} // namespace clang::tidy::pktbuf
+
+#endif // PKTBUF_TOOLS_ANALYZER_ENUM_SWITCH_CHECK_HH

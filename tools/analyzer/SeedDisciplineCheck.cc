@@ -1,0 +1,141 @@
+//===--- SeedDisciplineCheck.cc - pktbuf-seed-discipline -----------------===//
+
+#include "SeedDisciplineCheck.hh"
+
+#include "PktbufAstHelpers.hh"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::pktbuf
+{
+
+void
+SeedDisciplineCheck::registerMatchers(MatchFinder *Finder)
+{
+    // Every non-copy/move construction of pktbuf::Rng.
+    Finder->addMatcher(
+        cxxConstructExpr(
+            hasDeclaration(cxxConstructorDecl(
+                ofClass(hasName("::pktbuf::Rng")),
+                unless(isCopyConstructor()), unless(isMoveConstructor()))),
+            argumentCountIs(1), unless(isExpansionInSystemHeader()))
+            .bind("rngCtor"),
+        this);
+
+    // Raw arithmetic flowing into a seed-carrying parameter of any
+    // call.  deriveSeed() itself names its first parameter `master`,
+    // so the name net covers both spellings of "this is a seed".
+    Finder->addMatcher(
+        callExpr(forEachArgumentWithParam(
+                     binaryOperator().bind("seedArith"),
+                     parmVarDecl(matchesName(".*([sS]eed|[mM]aster).*"))),
+                 unless(isExpansionInSystemHeader())),
+        this);
+}
+
+namespace
+{
+
+/// Strip parens, implicit casts and explicit integer casts so the
+/// seed-source classification sees the underlying expression.
+const clang::Expr *
+stripSeedWrappers(const clang::Expr *E)
+{
+    while (true) {
+        E = E->IgnoreParenImpCasts();
+        if (const auto *EC = llvm::dyn_cast<clang::ExplicitCastExpr>(E)) {
+            E = EC->getSubExpr();
+            continue;
+        }
+        return E;
+    }
+}
+
+/// True for a call whose (possibly qualified) callee is deriveSeed.
+bool
+isDeriveSeedCall(const clang::Expr *E)
+{
+    const auto *Call = llvm::dyn_cast<clang::CallExpr>(E);
+    if (Call == nullptr)
+        return false;
+    const clang::FunctionDecl *Callee = Call->getDirectCallee();
+    return Callee != nullptr && Callee->getName() == "deriveSeed";
+}
+
+/// True when the expression reads a seed-named declaration (variable,
+/// parameter or member such as `seed`, `masterSeed`, `cfg.seed`).
+bool
+readsSeedNamedDecl(const clang::Expr *E)
+{
+    if (const auto *DRE = llvm::dyn_cast<clang::DeclRefExpr>(E))
+        return isSeedName(DRE->getDecl()->getName());
+    if (const auto *ME = llvm::dyn_cast<clang::MemberExpr>(E))
+        return isSeedName(ME->getMemberDecl()->getName());
+    return false;
+}
+
+} // namespace
+
+void
+SeedDisciplineCheck::checkSeedExpr(const Expr *Arg,
+                                   const MatchFinder::MatchResult &Result)
+{
+    const Expr *E = stripSeedWrappers(Arg);
+
+    if (isDeriveSeedCall(E) || readsSeedNamedDecl(E))
+        return;
+
+    // Conditional: both branches must be disciplined.
+    if (const auto *Cond = llvm::dyn_cast<ConditionalOperator>(E)) {
+        checkSeedExpr(Cond->getTrueExpr(), Result);
+        checkSeedExpr(Cond->getFalseExpr(), Result);
+        return;
+    }
+
+    if (llvm::isa<BinaryOperator>(E)) {
+        diag(E->getBeginLoc(),
+             "raw arithmetic seeds this Rng; derive sub-stream seeds "
+             "with deriveSeed(master, index) so streams stay "
+             "statistically independent");
+        return;
+    }
+
+    if (llvm::isa<IntegerLiteral>(E)) {
+        const StringRef Line =
+            lineAndAbove(*Result.SourceManager, E->getBeginLoc(), 0);
+        if (hasAnnotation(Line, "seed", {}))
+            return;  // explicitly-annotated literal: "// seed: <why>"
+        diag(E->getBeginLoc(),
+             "literal Rng seed without a '// seed: <why>' annotation; "
+             "derive it with deriveSeed(...) or annotate why this "
+             "stream is intentionally fixed");
+        return;
+    }
+
+    diag(E->getBeginLoc(),
+         "Rng seed does not trace to deriveSeed(...), a seed-named "
+         "value, or an annotated literal; every stream's seed must be "
+         "explicitly derived (replay-from-log rule)");
+}
+
+void
+SeedDisciplineCheck::check(const MatchFinder::MatchResult &Result)
+{
+    if (const auto *Ctor =
+            Result.Nodes.getNodeAs<CXXConstructExpr>("rngCtor")) {
+        checkSeedExpr(Ctor->getArg(0), Result);
+        return;
+    }
+    if (const auto *Arith =
+            Result.Nodes.getNodeAs<BinaryOperator>("seedArith")) {
+        if (!Arith->isAssignmentOp())
+            diag(Arith->getBeginLoc(),
+                 "raw arithmetic flows into a seed parameter; use "
+                 "deriveSeed(master, index) instead of ad-hoc seed "
+                 "math");
+    }
+}
+
+} // namespace clang::tidy::pktbuf

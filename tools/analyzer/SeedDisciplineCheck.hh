@@ -1,0 +1,40 @@
+//===--- SeedDisciplineCheck.hh - pktbuf-seed-discipline -----------------===//
+//
+// Every pktbuf::Rng construction must trace its seed to
+// deriveSeed(...), to a seed-named value flowing in from the caller,
+// or to an integer literal annotated "// seed: <why>" on its line.
+// Raw arithmetic on seeds ("seed + port") is flagged wherever it is
+// passed into an Rng construction or a seed-named parameter: ad-hoc
+// seed math collides streams that deriveSeed's splitmix64 mixing
+// keeps independent (the PR-2 sharding rule, now compiler-grade).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PKTBUF_TOOLS_ANALYZER_SEED_DISCIPLINE_CHECK_HH
+#define PKTBUF_TOOLS_ANALYZER_SEED_DISCIPLINE_CHECK_HH
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::pktbuf
+{
+
+class SeedDisciplineCheck : public ClangTidyCheck
+{
+  public:
+    SeedDisciplineCheck(StringRef Name, ClangTidyContext *Context)
+        : ClangTidyCheck(Name, Context)
+    {}
+
+    void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+    void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+  private:
+    /// Diagnose `Arg` (an expression seeding an Rng or a seed-named
+    /// parameter) unless it traces to an approved seed source.
+    void checkSeedExpr(const Expr *Arg, const ast_matchers::MatchFinder::
+                                            MatchResult &Result);
+};
+
+} // namespace clang::tidy::pktbuf
+
+#endif // PKTBUF_TOOLS_ANALYZER_SEED_DISCIPLINE_CHECK_HH

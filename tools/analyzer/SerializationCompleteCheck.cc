@@ -1,0 +1,195 @@
+//===--- SerializationCompleteCheck.cc - pktbuf-serialization-complete ---===//
+
+#include "SerializationCompleteCheck.hh"
+
+#include "PktbufAstHelpers.hh"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/DenseSet.h"
+#include "llvm/ADT/SmallVector.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::pktbuf
+{
+
+namespace
+{
+
+/// Does this type (stripped of references/const) name `ser::Writer`
+/// or `ser::Reader`?
+bool
+isSerParam(clang::QualType T, llvm::StringRef Which)
+{
+    const clang::CXXRecordDecl *RD =
+        T.getNonReferenceType()->getAsCXXRecordDecl();
+    if (RD == nullptr || RD->getName() != Which)
+        return false;
+    const auto *NS =
+        llvm::dyn_cast_or_null<clang::NamespaceDecl>(RD->getDeclContext());
+    return NS != nullptr && NS->getName() == "ser";
+}
+
+bool
+nameStartsWith(const clang::NamedDecl *D, llvm::StringRef Prefix)
+{
+    const auto *II = D->getIdentifier();
+    if (II == nullptr)
+        return false;
+    const llvm::StringRef Name = II->getName();
+    return Name.size() >= Prefix.size() &&
+           Name.take_front(Prefix.size()) == Prefix;
+}
+
+/// save*/load* method taking a ser::Writer& / ser::Reader&.
+bool
+isHook(const clang::CXXMethodDecl *M, llvm::StringRef Prefix,
+       llvm::StringRef ParamType)
+{
+    if (!nameStartsWith(M, Prefix))
+        return false;
+    for (const clang::ParmVarDecl *P : M->parameters()) {
+        if (isSerParam(P->getType(), ParamType))
+            return true;
+    }
+    return false;
+}
+
+/// Any (transitive) base declaring both a save and a load hook?
+bool
+baseDeclaresHooks(const clang::CXXRecordDecl *RD)
+{
+    for (const clang::CXXBaseSpecifier &B : RD->bases()) {
+        const clang::CXXRecordDecl *BD = B.getType()->getAsCXXRecordDecl();
+        if (BD == nullptr)
+            continue;
+        BD = BD->getDefinition();
+        if (BD == nullptr)
+            continue;
+        bool Save = false;
+        bool Load = false;
+        for (const clang::CXXMethodDecl *M : BD->methods()) {
+            Save = Save || isHook(M, "save", "Writer");
+            Load = Load || isHook(M, "load", "Reader");
+        }
+        if ((Save && Load) || baseDeclaresHooks(BD))
+            return true;
+    }
+    return false;
+}
+
+/// Every FieldDecl referenced (as a MemberExpr) anywhere inside Body.
+void
+collectReferencedFields(const clang::Stmt *Body, clang::ASTContext &Ctx,
+                        llvm::DenseSet<const clang::FieldDecl *> &Out)
+{
+    for (const auto &M :
+         match(findAll(memberExpr().bind("m")), *Body, Ctx)) {
+        const auto *ME = M.getNodeAs<clang::MemberExpr>("m");
+        if (ME == nullptr)
+            continue;
+        if (const auto *FD =
+                llvm::dyn_cast<clang::FieldDecl>(ME->getMemberDecl()))
+            Out.insert(FD->getCanonicalDecl());
+    }
+}
+
+} // namespace
+
+void
+SerializationCompleteCheck::registerMatchers(MatchFinder *Finder)
+{
+    Finder->addMatcher(cxxRecordDecl(isDefinition(), unless(isImplicit()),
+                                     unless(isExpansionInSystemHeader()))
+                           .bind("record"),
+                       this);
+}
+
+void
+SerializationCompleteCheck::check(const MatchFinder::MatchResult &Result)
+{
+    const auto *Record = Result.Nodes.getNodeAs<CXXRecordDecl>("record");
+    if (Record == nullptr || Record->isDependentType() ||
+        Record->isUnion() || Record->getIdentifier() == nullptr)
+        return;
+    // Abstract bases are interfaces: concrete classes are checked.
+    if (Record->isAbstract())
+        return;
+
+    llvm::SmallVector<const CXXMethodDecl *, 4> Saves;
+    llvm::SmallVector<const CXXMethodDecl *, 4> Loads;
+    for (const CXXMethodDecl *M : Record->methods()) {
+        if (isHook(M, "save", "Writer"))
+            Saves.push_back(M);
+        else if (isHook(M, "load", "Reader"))
+            Loads.push_back(M);
+    }
+
+    const bool OwnHooks = !Saves.empty() && !Loads.empty();
+    const bool Inherited = baseDeclaresHooks(Record);
+    if (!OwnHooks && !Inherited)
+        return;  // not a serializable class
+
+    if (!OwnHooks && Saves.empty() && Loads.empty()) {
+        // Subclass of a serializable base with no hooks of its own:
+        // the base's hooks cannot reference members added here, so
+        // every unannotated member is checkpoint drift.
+        for (const FieldDecl *FD : Record->fields()) {
+            if (FD->getIdentifier() == nullptr)
+                continue;
+            const StringRef Lines =
+                lineAndAbove(*Result.SourceManager, FD->getLocation(), 2);
+            if (hasAnnotation(Lines, "ser", {"config", "derived"}))
+                continue;
+            diag(FD->getLocation(),
+                 "%0 inherits save()/load() but declares no hook "
+                 "referencing member %1; add a saveExtra/loadExtra-"
+                 "style hook or annotate with '// ser: config' or "
+                 "'// ser: derived'")
+                << Record << FD;
+        }
+        return;
+    }
+
+    // Only judge completeness in a TU that can see every hook body.
+    llvm::DenseSet<const FieldDecl *> InSave;
+    llvm::DenseSet<const FieldDecl *> InLoad;
+    for (const CXXMethodDecl *M : Saves) {
+        const FunctionDecl *Def = nullptr;
+        if (!M->hasBody(Def))
+            return;
+        collectReferencedFields(Def->getBody(), *Result.Context, InSave);
+    }
+    for (const CXXMethodDecl *M : Loads) {
+        const FunctionDecl *Def = nullptr;
+        if (!M->hasBody(Def))
+            return;
+        collectReferencedFields(Def->getBody(), *Result.Context, InLoad);
+    }
+
+    for (const FieldDecl *FD : Record->fields()) {
+        if (FD->getIdentifier() == nullptr)
+            continue;
+        const FieldDecl *Canon = FD->getCanonicalDecl();
+        const bool Saved = InSave.contains(Canon);
+        const bool Loaded = InLoad.contains(Canon);
+        if (Saved && Loaded)
+            continue;
+        const StringRef Lines =
+            lineAndAbove(*Result.SourceManager, FD->getLocation(), 2);
+        if (hasAnnotation(Lines, "ser", {"config", "derived"}))
+            continue;
+        const char *Missing = (!Saved && !Loaded)
+                                  ? "save() or load()"
+                                  : (Saved ? "load()" : "save()");
+        diag(FD->getLocation(),
+             "member %0 of %1 is not referenced in %2; serialize it "
+             "or annotate the declaration with '// ser: config' or "
+             "'// ser: derived' (checkpoint restore drifts silently "
+             "otherwise)")
+            << FD << Record << Missing;
+    }
+}
+
+} // namespace clang::tidy::pktbuf

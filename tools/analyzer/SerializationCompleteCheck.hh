@@ -1,0 +1,42 @@
+//===--- SerializationCompleteCheck.hh - pktbuf-serialization-complete ---===//
+//
+// The AST-true version of tools/lint/check_serialization.py: every
+// non-static data member of a class with save(ser::Writer&) /
+// load(ser::Reader&) hooks (own, saveExtra/loadExtra-style, or
+// out-of-line in a .cc) must be referenced in both hook bodies or
+// carry a "// ser: config" / "// ser: derived" annotation on (or just
+// above) its declaration.  Unlike the lexical engine, this check sees
+// through member-expression spelling, helper calls and out-of-line
+// definitions -- it matches actual FieldDecl references, not words.
+//
+// Per-TU scoping rule: the completeness verdict is only issued in a
+// translation unit where *every* declared hook body is visible
+// (inline hooks: any TU including the header; out-of-line hooks: the
+// defining .cc).  TUs that see only declarations stay silent, so
+// scanning all of src/*.cc covers every class exactly once or more,
+// never wrongly.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PKTBUF_TOOLS_ANALYZER_SERIALIZATION_COMPLETE_CHECK_HH
+#define PKTBUF_TOOLS_ANALYZER_SERIALIZATION_COMPLETE_CHECK_HH
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::pktbuf
+{
+
+class SerializationCompleteCheck : public ClangTidyCheck
+{
+  public:
+    SerializationCompleteCheck(StringRef Name, ClangTidyContext *Context)
+        : ClangTidyCheck(Name, Context)
+    {}
+
+    void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+    void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::pktbuf
+
+#endif // PKTBUF_TOOLS_ANALYZER_SERIALIZATION_COMPLETE_CHECK_HH

@@ -1,0 +1,34 @@
+// pktbuf-describe-engine-agnostic: clean fixture.
+
+#include "pktbuf_stubs.hh"
+
+namespace fixture
+{
+
+struct Scenario
+{
+    unsigned queues = 8;
+    bool eventEngine = false;
+
+    // name()/describe() derive from experiment parameters only.
+    std::string
+    name() const
+    {
+        return "q" + std::to_string(queues);
+    }
+
+    std::string
+    describe() const
+    {
+        return name() + " slots=20000";
+    }
+
+    // Any *other* method may read the selector freely.
+    const char *
+    engineLabel() const
+    {
+        return eventEngine ? "event" : "reference";
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,34 @@
+// pktbuf-describe-engine-agnostic: violating fixture.
+
+#include "pktbuf_stubs.hh"
+
+namespace fixture
+{
+
+struct Scenario
+{
+    unsigned queues = 8;
+    bool eventEngine = false;
+
+    // Engine selector leaks into the leg name: artifact bytes and
+    // checkpoint fingerprints would fork between engines.
+    std::string
+    name() const
+    {
+        return eventEngine ? "event" : "reference";
+    }
+
+    std::string describe() const;
+};
+
+// Out-of-line describe() leaking the selector through a member read.
+std::string
+Scenario::describe() const
+{
+    std::string out = "q" + std::to_string(queues);
+    if (eventEngine)
+        out += " engine=event";
+    return out;
+}
+
+} // namespace fixture

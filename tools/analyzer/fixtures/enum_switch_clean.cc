@@ -1,0 +1,40 @@
+// pktbuf-enum-switch: clean fixture.
+
+#include "pktbuf_stubs.hh"
+
+using pktbuf::dram::StallCause;
+
+// Exhaustive, no default: adding an enumerator breaks this switch at
+// compile time, which is the point.
+int
+exhaustive(StallCause c)
+{
+    switch (c) {
+      case StallCause::BankBusy:
+        return 1;
+      case StallCause::Refresh:
+        return 2;
+      case StallCause::Turnaround:
+        return 3;
+    }
+    return 0;
+}
+
+// Enums outside the configured project list are not this check's
+// business (the compiler's -Wswitch-enum wall still sees them).
+enum class Local
+{
+    A,
+    B,
+};
+
+int
+untracked(Local l)
+{
+    switch (l) {
+      case Local::A:
+        return 1;
+      default:
+        return 0;
+    }
+}

@@ -1,0 +1,35 @@
+// pktbuf-enum-switch: violating fixture.
+
+#include "pktbuf_stubs.hh"
+
+using pktbuf::dram::StallCause;
+
+// Missing an enumerator (Turnaround) entirely.
+int
+missingCase(StallCause c)
+{
+    switch (c) {
+      case StallCause::BankBusy:
+        return 1;
+      case StallCause::Refresh:
+        return 2;
+    }
+    return 0;
+}
+
+// A default label swallowing future enumerators -- even though every
+// current case is listed.
+int
+defaultSwallows(StallCause c)
+{
+    switch (c) {
+      case StallCause::BankBusy:
+        return 1;
+      case StallCause::Refresh:
+        return 2;
+      case StallCause::Turnaround:
+        return 3;
+      default:
+        return 0;
+    }
+}

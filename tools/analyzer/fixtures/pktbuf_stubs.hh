@@ -1,0 +1,93 @@
+// Minimal stand-ins for the pktbuf declarations the fixture
+// translation units exercise.  The checks match on *qualified names*
+// (::pktbuf::Rng, ::pktbuf::StatRegistry, pktbuf::dram::StallCause),
+// so these stubs mirror the real namespaces exactly while keeping
+// fixture compiles hermetic -- no project headers, no system
+// dependencies beyond <string>.
+
+#ifndef PKTBUF_ANALYZER_FIXTURE_STUBS_HH
+#define PKTBUF_ANALYZER_FIXTURE_STUBS_HH
+
+#include <string>
+
+namespace pktbuf
+{
+
+namespace ser
+{
+class Writer
+{
+  public:
+    void u32(unsigned v);
+    void u64(unsigned long long v);
+    void real(double v);
+};
+
+class Reader
+{
+  public:
+    unsigned u32();
+    unsigned long long u64();
+    double real();
+};
+} // namespace ser
+
+class Rng
+{
+  public:
+    explicit Rng(unsigned long long seed);
+    unsigned long long next();
+};
+
+class Counter
+{
+  public:
+    void inc(unsigned long long delta = 1);
+};
+
+class Sampler
+{
+  public:
+    void sample(double v);
+};
+
+class HighWater
+{
+  public:
+    void observe(long long v);
+};
+
+class P2Quantile
+{
+  public:
+    void sample(double v);
+};
+
+class StatRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Sampler &sampler(const std::string &name);
+    HighWater &highWater(const std::string &name);
+    P2Quantile &quantile(const std::string &name, double prob);
+};
+
+namespace sweep
+{
+unsigned long long deriveSeed(unsigned long long master,
+                              unsigned long long index);
+} // namespace sweep
+
+namespace dram
+{
+enum class StallCause
+{
+    BankBusy,
+    Refresh,
+    Turnaround,
+};
+} // namespace dram
+
+} // namespace pktbuf
+
+#endif // PKTBUF_ANALYZER_FIXTURE_STUBS_HH

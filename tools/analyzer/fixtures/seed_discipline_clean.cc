@@ -1,0 +1,35 @@
+// pktbuf-seed-discipline: clean fixture.  No construction here may
+// warn.
+
+#include "pktbuf_stubs.hh"
+
+struct Config
+{
+    unsigned long long masterSeed = 0;
+};
+
+void
+clean(unsigned long long seed, const Config &cfg, bool alt)
+{
+    // Derived sub-stream.
+    pktbuf::Rng derived(pktbuf::sweep::deriveSeed(cfg.masterSeed, 7));
+
+    // Seed-named values flowing through (parameter and member).
+    pktbuf::Rng fromParam(seed);
+    pktbuf::Rng fromMember(cfg.masterSeed);
+
+    // Annotated literal: a deliberately pinned calibration stream.
+    pktbuf::Rng pinned(20260730);  // seed: fixed calibration stream
+
+    // Both branches of a conditional are disciplined.
+    pktbuf::Rng either(alt ? seed : cfg.masterSeed);
+
+    // Copy construction is not a seeding site.
+    pktbuf::Rng copy(derived);
+
+    (void)fromParam;
+    (void)fromMember;
+    (void)pinned;
+    (void)either;
+    (void)copy;
+}

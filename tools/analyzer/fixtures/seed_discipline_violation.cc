@@ -1,0 +1,26 @@
+// pktbuf-seed-discipline: violating fixture.  Every construction
+// below must produce exactly one warning (the driver counts them).
+
+#include "pktbuf_stubs.hh"
+
+unsigned long long wallClockEntropy();
+
+void
+violations(unsigned long long masterSeed, unsigned port)
+{
+    // Unannotated literal seed.
+    pktbuf::Rng bare(12345);
+
+    // Raw arithmetic on a seed (stream-collision hazard).
+    pktbuf::Rng arith(masterSeed + port);
+
+    // Untraceable source: neither deriveSeed nor a seed-named value.
+    pktbuf::Rng opaque(wallClockEntropy());
+
+    // Raw arithmetic flowing into a seed-named parameter.
+    pktbuf::sweep::deriveSeed(masterSeed * 31, port);
+
+    (void)bare;
+    (void)arith;
+    (void)opaque;
+}

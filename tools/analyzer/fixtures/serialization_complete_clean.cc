@@ -1,0 +1,117 @@
+// pktbuf-serialization-complete: clean fixture.
+
+#include "pktbuf_stubs.hh"
+
+namespace fixture
+{
+
+class Good
+{
+  public:
+    void
+    save(pktbuf::ser::Writer &w) const
+    {
+        w.u64(a_);
+        w.real(b_);
+    }
+    void
+    load(pktbuf::ser::Reader &r)
+    {
+        a_ = r.u64();
+        b_ = r.real();
+        rebuildScratch();
+    }
+
+  private:
+    void rebuildScratch();
+
+    unsigned long long a_ = 0;
+    double b_ = 0.0;
+    unsigned queues_ = 8;  // ser: config
+    // ser: derived (rebuilt from a_ by load())
+    unsigned long long scratch_ = 0;
+};
+
+// The saveExtra/loadExtra subclass pattern: the subclass hook
+// serializes the subclass state.
+class Base
+{
+  public:
+    void
+    save(pktbuf::ser::Writer &w) const
+    {
+        w.u64(a_);
+        saveExtra(w);
+    }
+    void
+    load(pktbuf::ser::Reader &r)
+    {
+        a_ = r.u64();
+        loadExtra(r);
+    }
+
+  protected:
+    virtual void
+    saveExtra(pktbuf::ser::Writer &) const
+    {}
+    virtual void
+    loadExtra(pktbuf::ser::Reader &)
+    {}
+
+  private:
+    unsigned long long a_ = 0;
+};
+
+class Sub : public Base
+{
+  protected:
+    void
+    saveExtra(pktbuf::ser::Writer &w) const override
+    {
+        w.u64(cursor_);
+    }
+    void
+    loadExtra(pktbuf::ser::Reader &r) override
+    {
+        cursor_ = r.u64();
+    }
+
+  private:
+    unsigned long long cursor_ = 0;
+};
+
+// Out-of-line bodies, complete.
+class OutOfLine
+{
+  public:
+    void save(pktbuf::ser::Writer &w) const;
+    void load(pktbuf::ser::Reader &r);
+
+  private:
+    unsigned long long a_ = 0;
+};
+
+void
+OutOfLine::save(pktbuf::ser::Writer &w) const
+{
+    w.u64(a_);
+}
+
+void
+OutOfLine::load(pktbuf::ser::Reader &r)
+{
+    a_ = r.u64();
+}
+
+// A class with no hooks at all is not serializable: no findings.
+class Plain
+{
+  private:
+    unsigned long long whatever_ = 0;
+};
+
+void
+touch(Good &, Sub &, OutOfLine &, Plain &)
+{}
+
+} // namespace fixture

@@ -1,0 +1,104 @@
+// pktbuf-serialization-complete: violating fixture.
+
+#include "pktbuf_stubs.hh"
+
+namespace fixture
+{
+
+// A member added without updating either hook.
+class Drifty
+{
+  public:
+    void
+    save(pktbuf::ser::Writer &w) const
+    {
+        w.u64(a_);
+    }
+    void
+    load(pktbuf::ser::Reader &r)
+    {
+        a_ = r.u64();
+    }
+
+  private:
+    unsigned long long a_ = 0;
+    unsigned long long forgotten_ = 0;
+};
+
+// Saved but never loaded: restore silently zeroes it.
+class HalfDone
+{
+  public:
+    void
+    save(pktbuf::ser::Writer &w) const
+    {
+        w.u64(a_);
+        w.u64(half_);
+    }
+    void
+    load(pktbuf::ser::Reader &r)
+    {
+        a_ = r.u64();
+    }
+
+  private:
+    unsigned long long a_ = 0;
+    unsigned long long half_ = 0;
+};
+
+// Subclass of a serializable base with state of its own but no
+// saveExtra/loadExtra-style hook: the base cannot serialize cursor_.
+class Base
+{
+  public:
+    void
+    save(pktbuf::ser::Writer &w) const
+    {
+        w.u64(a_);
+    }
+    void
+    load(pktbuf::ser::Reader &r)
+    {
+        a_ = r.u64();
+    }
+
+  private:
+    unsigned long long a_ = 0;
+};
+
+class Sub : public Base
+{
+  private:
+    unsigned long long cursor_ = 0;
+};
+
+// Out-of-line hook bodies (the hybrid_buffer.cc pattern): the check
+// must see through them in the TU that defines them.
+class OutOfLine
+{
+  public:
+    void save(pktbuf::ser::Writer &w) const;
+    void load(pktbuf::ser::Reader &r);
+
+  private:
+    unsigned long long a_ = 0;
+    unsigned long long skipped_ = 0;
+};
+
+void
+OutOfLine::save(pktbuf::ser::Writer &w) const
+{
+    w.u64(a_);
+}
+
+void
+OutOfLine::load(pktbuf::ser::Reader &r)
+{
+    a_ = r.u64();
+}
+
+void
+touch(Drifty &, HalfDone &, Sub &, OutOfLine &)
+{}
+
+} // namespace fixture

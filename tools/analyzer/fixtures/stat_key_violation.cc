@@ -1,0 +1,23 @@
+// pktbuf-stat-key: violating fixture.
+
+#include "pktbuf_stubs.hh"
+
+void
+violations(pktbuf::StatRegistry &stats, const std::string &suffix)
+{
+    // No namespace dot.
+    stats.counter("arrivals");
+
+    // Upper-case / grammar breakage.
+    stats.sampler("Dsa.Stall");
+
+    // Trailing dot (empty metric component).
+    stats.highWater("rr.");
+
+    // Duplicate full-literal key at two distinct sites.
+    stats.counter("dup.key");
+    stats.counter("dup.key");
+
+    // Composed key with an out-of-grammar literal fragment.
+    stats.sampler(std::string("Across Ports ") + suffix);
+}

@@ -22,11 +22,16 @@ in load() alone (e.g. a reset) without saving it is reported, and
 vice versa.
 
 Engine: uses the clang AST via ``clang.cindex`` when libclang is
-importable, else a regex/lexical parser tuned to this codebase's
-style (members on their own declaration statements).  The two
-engines enforce the same rule; ``--engine`` forces one.
+importable.  The regex/lexical parser is a *fallback only* -- the
+authoritative AST-grade enforcement lives in the in-tree clang-tidy
+plugin (``tools/analyzer``, check ``pktbuf-serialization-complete``),
+and when this script drops to the regex engine it says so on stderr.
+The two engines enforce the same rule; ``--engine`` forces one, and
+``--cross-check`` runs both and fails if they disagree on the tree
+(exit 77 = skipped because libclang is unavailable).
 
-Exit status: 0 clean, 1 findings, 2 usage error.
+Exit status: 0 clean/agree, 1 findings/disagree, 2 usage error,
+77 cross-check skipped.
 """
 
 from __future__ import annotations
@@ -424,8 +429,45 @@ def run(paths: list[str], engine: str) -> list[Finding]:
             print(f"{TOOL}: libclang unavailable", file=sys.stderr)
             sys.exit(2)
     if classes is None:
+        if engine == "auto":
+            # The regex engine is demoted to fallback duty: the
+            # clang-tidy plugin (tools/analyzer) is the authoritative
+            # AST-grade enforcement; say which engine actually ran so
+            # a silent downgrade never masquerades as an AST pass.
+            print(f"{TOOL}: note: libclang unavailable, using the "
+                  f"regex fallback engine", file=sys.stderr)
         classes = parse_regex(paths)
     return check(classes)
+
+
+def cross_check(paths: list[str]) -> int:
+    """Both engines over the same files must report the same findings.
+
+    Guards the fallback's fidelity: if the regex engine drifts from
+    the AST view of the tree (a parsing style it cannot follow, an
+    annotation it misses), this fails before the drift ships.
+    """
+    clang_classes = parse_clang(paths)
+    if clang_classes is None:
+        print(f"{TOOL}: --cross-check skipped: libclang unavailable",
+              file=sys.stderr)
+        return 77
+    def as_key(f: Finding) -> tuple[str, str, str]:
+        return (f.path, f.rule, f.message)
+
+    clang_findings = {as_key(f) for f in check(clang_classes)}
+    regex_findings = {as_key(f) for f in check(parse_regex(paths))}
+    for label, extra in (("clang-only", clang_findings - regex_findings),
+                         ("regex-only", regex_findings - clang_findings)):
+        for path, rule, message in sorted(extra):
+            print(f"{TOOL}: {label}: {path}: [{rule}] {message}")
+    if clang_findings != regex_findings:
+        print(f"{TOOL}: engines disagree on {len(paths)} files",
+              file=sys.stderr)
+        return 1
+    print(f"{TOOL}: engines agree on {len(paths)} files "
+          f"({len(clang_findings)} findings)")
+    return 0
 
 
 # ---------------------------------------------------------------- fixtures
@@ -518,6 +560,9 @@ def main() -> int:
     ap.add_argument("--engine", choices=("auto", "regex", "clang"),
                     default="auto")
     ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("--cross-check", action="store_true",
+                    help="run both engines and fail on disagreement "
+                         "(exit 77 when libclang is unavailable)")
     args = ap.parse_args()
     if args.self_test:
         return self_test()
@@ -526,6 +571,8 @@ def main() -> int:
     if not paths:
         print(f"{TOOL}: no C++ sources under {roots}", file=sys.stderr)
         return 2
+    if args.cross_check:
+        return cross_check(paths)
     return report(run(paths, args.engine), TOOL)
 
 

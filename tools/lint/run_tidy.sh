@@ -46,6 +46,24 @@ fi
 mapfile -t sources < <(find src -name '*.cc' | sort)
 echo "run_tidy.sh: $tidy over ${#sources[@]} sources ($build_dir)"
 
+# In-tree analyzer plugin (tools/analyzer): when the build dir has it,
+# load it so the pktbuf-* semantic checks ride along with the curated
+# .clang-tidy set.  The plugin must match the host clang-tidy's major
+# version or dlopen fails; probe with --list-checks before committing.
+plugin=""
+plugin_candidate=$(find "$build_dir" -name 'libPktbufTidyChecks.so' \
+                   -print -quit 2> /dev/null || true)
+if [ -n "$plugin_candidate" ]; then
+    if "$tidy" --load="$plugin_candidate" --checks='-*,pktbuf-*' \
+            --list-checks > /dev/null 2>&1; then
+        plugin="$plugin_candidate"
+        echo "run_tidy.sh: loading analyzer plugin $plugin"
+    else
+        echo "run_tidy.sh: $plugin_candidate does not load into $tidy" \
+             "(version mismatch?); running without the pktbuf-* checks" >&2
+    fi
+fi
+
 status=0
 runner=""
 for cand in run-clang-tidy "${tidy/clang-tidy/run-clang-tidy}"; do
@@ -54,9 +72,17 @@ for cand in run-clang-tidy "${tidy/clang-tidy/run-clang-tidy}"; do
         break
     fi
 done
-if [ -n "$runner" ]; then
+if [ -n "$runner" ] && [ -z "$plugin" ]; then
     "$runner" -clang-tidy-binary "$tidy" -p "$build_dir" -quiet \
         "$@" "${sources[@]}" || status=$?
+elif [ -n "$plugin" ]; then
+    # Single invocation, not run-clang-tidy's per-file processes:
+    # pktbuf-stat-key enforces tree-wide key uniqueness and needs all
+    # registration sites in one process to see a cross-file collision.
+    # --checks appends to the .clang-tidy Checks list, so the curated
+    # set still runs alongside the plugin's.
+    "$tidy" --load="$plugin" --checks='pktbuf-*' -p "$build_dir" \
+        --quiet "$@" "${sources[@]}" || status=$?
 else
     for f in "${sources[@]}"; do
         "$tidy" -p "$build_dir" --quiet "$@" "$f" || status=$?
